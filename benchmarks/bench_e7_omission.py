@@ -1,0 +1,21 @@
+"""E7 — execution-omission errors: implicit dependences via predicate
+switching.
+
+Paper (§3.1, [16]): plain dynamic slices miss omission bugs entirely;
+relevant slices (static potential dependences) catch them but are
+"overly large"; predicate switching verifies implicit dependences
+dynamically with a small number of re-executions.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e7
+
+
+def test_e7_predicate_switching(benchmark):
+    result = benchmark.pedantic(run_e7, rounds=1, iterations=1)
+    report(result)
+    assert result.headline["omission_bugs_located"] == result.headline["omission_bugs_total"]
+    assert result.headline["avg_verifications"] <= 5
+    for row in result.rows:
+        assert row[1] == 0  # plain slices never see the omission bug

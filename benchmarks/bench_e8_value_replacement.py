@@ -1,0 +1,20 @@
+"""E8 — fault localization by value replacement.
+
+Paper (§3.1, [2]): ranking statements by interesting value-mapping
+pairs locates statements "that are either faulty or directly linked to
+a faulty statement", and unlike slicing it "can uniformly handle all
+errors" — including the omission bugs dynamic slices miss.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e8
+
+
+def test_e8_ranking(benchmark):
+    result = benchmark.pedantic(run_e8, rounds=1, iterations=1)
+    report(result)
+    assert result.headline["bugs_ranked_top2"] >= result.headline["bugs_total"] - 1
+    # the omission bugs must be ranked even though slicing misses them
+    omission_rows = [r for r in result.rows if r[1] == "omission"]
+    assert omission_rows and all(r[4] != "-" for r in omission_rows)

@@ -1,0 +1,22 @@
+"""E9 — synchronization-aware data-race detection.
+
+Paper (§3.1, [8,10]): multithreaded slicing with WAR/WAW dependences
+finds races; dynamic recognition of user synchronization filters the
+"many benign synchronization races and infeasible races reported by
+other tools" while keeping the true races.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_e9
+
+
+def test_e9_sync_aware_filtering(benchmark):
+    result = benchmark.pedantic(run_e9, rounds=1, iterations=1)
+    report(result)
+    assert result.headline["benign_races_filtered"] >= 10
+    for row in result.rows:
+        name, _, _, reported, _, true_found = row
+        assert true_found == 1, f"{name}: ground truth missed"
+        if name in ("locked-counter", "flag-sync"):
+            assert reported == 0, f"{name}: false positives reported"

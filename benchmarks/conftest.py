@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark wraps one experiment runner from
+``repro.harness.experiments`` (the same code EXPERIMENTS.md quotes) in
+pytest-benchmark, then prints the reproduced table and the
+paper-vs-measured headline so `pytest benchmarks/ --benchmark-only -s`
+regenerates the paper's evaluation.
+"""
+
+import pytest
+
+
+def report(result):
+    """Print an ExperimentResult's table + headline (shown with -s / tee)."""
+    print()
+    print(result.table())
+    if result.notes:
+        print(f"notes: {result.notes}")
+    headline = ", ".join(f"{k}={v:.3g}" for k, v in result.headline.items())
+    print(f"headline: {headline}")

@@ -1,0 +1,65 @@
+"""Trace-driven adaptive optimization — the paper's §4 "work in
+progress" direction, built on the same tracing substrate.
+
+The optimizer profiles one run and plans three kinds of specialization:
+
+* hot traces (from ONTRAC's block-transition counters) as super-block
+  candidates,
+* invariant computation sites (always produced the same value) as
+  constant-folding candidates,
+* redundant-load sites (same address, same producer, over and over) as
+  caching candidates,
+
+and reports the cycle-model speedup the plan would buy.
+
+Run:  python examples/adaptive_optimization.py
+"""
+
+from repro.apps.adaptive import AdaptiveOptimizer
+from repro.lang import compile_source
+from repro.runner import ProgramRunner
+from repro.workloads.spec_like import matmul
+
+SOURCE = """
+global config[4];
+fn main() {
+    config[0] = 12;          // set once, read in every iteration
+    var s = 0;
+    var i = 0;
+    while (i < 80) {
+        s = s + config[0] * i;   // invariant load, hot loop
+        i = i + 1;
+    }
+    out(s, 1);
+}
+"""
+
+
+def main():
+    compiled = compile_source(SOURCE)
+    runner = ProgramRunner(compiled.program)
+    plan = AdaptiveOptimizer(runner, hot_trace_threshold=10).plan()
+
+    print("=== hand-written hot loop ===")
+    print(f"plan: {plan.summary()}")
+    for trace in plan.hot_traces:
+        print(f"  hot trace: pc {trace.from_pc} -> {trace.to_pc} "
+              f"({trace.executions} executions)")
+    for site in plan.invariants[:5]:
+        print(f"  invariant: line {compiled.line_of(site.pc)} always produced "
+              f"{site.value} ({site.executions}x)")
+    for site in plan.cache_sites:
+        print(f"  cacheable load: line {compiled.line_of(site.pc)} "
+              f"hit rate {site.hit_rate * 100:.0f}%")
+    assert plan.estimated_speedup > 1.0
+
+    print("\n=== matmul kernel ===")
+    workload = matmul(8)
+    plan2 = AdaptiveOptimizer(workload.runner(), hot_trace_threshold=20).plan()
+    print(f"plan: {plan2.summary()}")
+    print(f"  ({plan2.total_instructions} instructions profiled, "
+          f"{len(plan2.hot_traces)} fused transitions)")
+
+
+if __name__ == "__main__":
+    main()

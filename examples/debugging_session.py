@@ -1,0 +1,97 @@
+"""A debugging session: ONTRAC tracing, dynamic slicing, pruning,
+predicate switching, and value replacement on seeded bugs.
+
+Reproduces the §3.1 workflow end to end:
+
+* a *value* bug is pinned down by the backward dynamic slice of the
+  wrong output, shrunk further by confidence pruning against the
+  outputs that were still correct;
+* an *execution omission* bug is invisible to the plain slice — the
+  buggy predicate skipped the relevant code — and is exposed by
+  switching one dynamic predicate instance and observing the criterion
+  change (one re-execution);
+* value replacement ranks the faulty statement first without using
+  dependences at all.
+
+Run:  python examples/debugging_session.py
+"""
+
+from repro.apps.faultloc import SliceBasedFaultLocator, ValueReplacementRanker
+from repro.ontrac import OntracConfig
+from repro.slicing import find_implicit_dependences
+from repro.workloads.buggy import omission_predicate, wrong_variable
+
+
+def show_lines(title, lines, source, bug_lines):
+    print(f"  {title}:")
+    for line in sorted(lines):
+        marker = "  <-- BUG" if line in bug_lines else ""
+        print(f"    line {line}: {source.splitlines()[line - 1].strip()}{marker}")
+
+
+def value_bug_session():
+    bug = wrong_variable()
+    print(f"=== {bug.name}: {bug.description} ===")
+    print(f"failing output:  {bug.runner().run()[0].io.output(1)}")
+    print(f"expected output: {bug.expected_output()}")
+
+    locator = SliceBasedFaultLocator(bug.runner(), bug.compiled, bug.expected_output())
+    report = locator.locate()
+    show_lines("dynamic slice of the wrong output", report.slice_lines, bug.source,
+               bug.bug_lines)
+    show_lines("after confidence pruning", report.pruned_lines, bug.source, bug.bug_lines)
+    assert report.contains_bug(bug.bug_lines)
+    print()
+
+
+def omission_bug_session():
+    bug = omission_predicate()
+    print(f"=== {bug.name}: {bug.description} ===")
+    runner = bug.runner()
+    machine, tracer, _ = runner.run_traced(OntracConfig(buffer_bytes=1 << 22))
+    ddg = tracer.dependence_graph()
+
+    from repro.isa import Opcode
+
+    out_pc = max(
+        pc for pc in range(len(bug.compiled.program.code))
+        if bug.compiled.program.code[pc].opcode is Opcode.OUT
+    )
+    from repro.slicing import backward_slice
+
+    plain = backward_slice(ddg, ddg.last_instance_of_pc(out_pc))
+    plain_lines = plain.statement_lines(bug.compiled)
+    print(f"  plain slice lines {sorted(plain_lines)} — "
+          f"misses the buggy predicate on line {min(bug.bug_lines)}")
+
+    search = find_implicit_dependences(runner, ddg, out_pc)
+    print(f"  predicate switching: {search.verifications} re-execution(s)")
+    for dep in search.verified:
+        line = bug.compiled.line_of(dep.branch_pc)
+        print(f"  implicit dependence verified on line {line}: "
+              f"{bug.source.splitlines()[line - 1].strip()}")
+    candidate_lines = {bug.compiled.line_of(pc) for pc in search.candidate_pcs}
+    assert candidate_lines & bug.bug_lines
+    print()
+
+
+def value_replacement_session():
+    bug = omission_predicate()
+    print(f"=== value replacement on {bug.name} (dependence-free) ===")
+    ranker = ValueReplacementRanker(
+        bug.runner(), bug.compiled, bug.expected_output(),
+        passing_runner=bug.runner(failing=False),
+    )
+    report = ranker.rank()
+    print(f"  {report.replacements_tried} replacements tried, "
+          f"{len(report.ivmps)} produced the correct output")
+    for line, count in report.ranking[:3]:
+        marker = "  <-- BUG" if line in bug.bug_lines else ""
+        print(f"  rank: line {line} ({count} IVMPs){marker}")
+    assert report.rank_of_line(min(bug.bug_lines)) == 1
+
+
+if __name__ == "__main__":
+    value_bug_session()
+    omission_bug_session()
+    value_replacement_session()

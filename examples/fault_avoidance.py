@@ -1,0 +1,51 @@
+"""Fault avoidance (§3.2): capture an environment fault, find the
+environment change that dodges it, and prevent it permanently.
+
+Three fault classes, three strategies:
+
+* an atomicity violation disappears under a serializing schedule,
+* a heap overflow is absorbed by allocator padding,
+* a malformed request is neutralized by sanitizing the exact input
+  field the failure's dynamic slice implicates.
+
+Each successful avoidance is recorded as an environment patch; the
+"future run" at the end executes under the patch file and stays clean.
+
+Run:  python examples/fault_avoidance.py
+"""
+
+from repro.apps.faultavoid import FaultAvoidanceFramework, PatchFile
+from repro.workloads.buggy import atomicity_violation, heap_overflow, malformed_request
+
+
+def main():
+    patch_file = PatchFile()
+    framework = FaultAvoidanceFramework(patch_file)
+
+    for bug in (atomicity_violation(), heap_overflow(), malformed_request()):
+        print(f"=== {bug.name}: {bug.description} ===")
+        runner = bug.runner()
+        _, baseline = runner.run()
+        print(f"  fault: {baseline.failure}")
+
+        outcome = framework.avoid(runner)
+        assert outcome.avoided, "no environment change avoided the fault"
+        print(f"  avoided after {len(outcome.attempts)} attempt(s) "
+              f"with strategy '{outcome.patch.strategy}': {outcome.patch.description}")
+
+        machine, protected, patch = patch_file.protected_run(
+            runner, outcome.failure_kind, outcome.failure_pc
+        )
+        print(f"  future run under the patch: {protected.status.value} "
+              f"(output {machine.io.output(1)})")
+        assert not protected.failed
+        print()
+
+    print(f"patch file now holds {len(patch_file.patches)} environment patches:")
+    for patch in patch_file.patches:
+        print(f"  [{patch.signature.kind} @pc {patch.signature.pc}] "
+              f"{patch.strategy} {patch.params}")
+
+
+if __name__ == "__main__":
+    main()

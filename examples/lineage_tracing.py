@@ -1,0 +1,48 @@
+"""Scientific data lineage (§3.4): trace provenance, screen outputs,
+and compare roBDD against naive set storage.
+
+Scenario: a stencil pipeline smooths a sensor array.  After the run,
+the lab discovers sensor 7 was miscalibrated.  Which published outputs
+are contaminated?  Lineage answers exactly — without re-running the
+pipeline or conservatively discarding everything.
+
+Run:  python examples/lineage_tracing.py
+"""
+
+from repro.apps.lineage import LineageTracer, screen_outputs, verify_against_reference
+from repro.workloads.scientific import cumulative_sum, stencil_chain
+
+
+def provenance_demo():
+    workload = stencil_chain(n=16, rounds=2)
+    print(f"=== {workload.name}: {workload.description} ===")
+    tracer = LineageTracer(representation="robdd")
+    trace = tracer.trace(workload.runner())
+
+    matches, mismatches = verify_against_reference(trace, workload.expected_lineage)
+    print(f"traced lineage matches ground truth on {matches}/{workload.n_outputs} outputs")
+    assert not mismatches
+
+    sample = trace.outputs[5]
+    print(f"output[5] = {sample.value}, lineage = inputs {sorted(sample.input_indices())}")
+
+    report = screen_outputs(trace, contaminated={7})
+    print(f"sensor 7 miscalibrated -> contaminated outputs: {report.suspect_outputs}")
+    print(f"                          provably clean outputs: {report.cleared_outputs}")
+    print()
+
+
+def representation_comparison():
+    workload = cumulative_sum(n=300)
+    print(f"=== {workload.name}: {workload.description} ===")
+    for representation in ("naive", "robdd"):
+        tracer = LineageTracer(representation=representation)
+        trace = tracer.trace(workload.runner())
+        print(f"  {representation:6s}: live set storage {trace.shadow_set_bytes:>8d} B, "
+              f"modeled union work {trace.union_cycles:>7d} cycles")
+    print("  (overlapping resident sets are where roBDD sharing pays — §3.4)")
+
+
+if __name__ == "__main__":
+    provenance_demo()
+    representation_comparison()

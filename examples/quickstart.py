@@ -1,0 +1,73 @@
+"""Quickstart: compile a program, run it, and watch DIFT stop an attack.
+
+This walks the three core layers in ~60 lines:
+
+1. **MiniC -> mini-ISA**: `compile_source` turns readable source into a
+   runnable program (the substrate standing in for x86 binaries).
+2. **The VM**: `Machine` executes it deterministically; I/O channels
+   are the program's connection to the world (and DIFT's taint source).
+3. **DIFT**: a `DIFTEngine` with the PC-taint policy watches indirect
+   calls; a crafted input that hijacks a function pointer is stopped at
+   the sink, and the taint label names the root-cause statement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dift import DIFTEngine, PCTaintPolicy
+from repro.lang import compile_source
+from repro.vm import Machine
+
+SOURCE = """
+fn greet(x) { out(100 + x, 1); }
+fn grant_admin(x) { out(9999, 1); }
+
+fn main() {
+    var buf = alloc(4);        // request buffer
+    var handler = alloc(1);    // function pointer, adjacent on the heap
+    handler[0] = fnid(greet);
+
+    var n = in(0);             // attacker-controlled length...
+    var i = 0;
+    while (i < n) {
+        buf[i] = in(0);        // ...copied without a bounds check
+        i = i + 1;
+    }
+    icall(handler[0], 7);      // dispatch the request
+}
+"""
+
+
+def run(inputs, label):
+    compiled = compile_source(SOURCE)
+    machine = Machine(compiled.program)
+    machine.io.provide(0, inputs)
+    engine = DIFTEngine(PCTaintPolicy()).attach(machine)  # icall sink by default
+    result = machine.run()
+
+    print(f"--- {label} ---")
+    print(f"status: {result.status.value}")
+    print(f"output: {machine.io.output(1)}")
+    if engine.alerts:
+        alert = engine.alerts[0]
+        line = compiled.line_of(alert.label)
+        print(f"DIFT: tainted {alert.sink} stopped at pc={alert.pc}")
+        print(f"root cause (PC taint): line {line}: "
+              f"{SOURCE.splitlines()[line - 1].strip()}")
+    print()
+    return result
+
+
+def main():
+    # A benign request: two words, well within the buffer.
+    run([2, 11, 22], "benign request")
+
+    # The attack: five words overflow buf and overwrite handler[0] with
+    # the id of grant_admin (function ids are assigned in order: greet=0,
+    # grant_admin=1, main=2).
+    result = run([5, 0, 0, 0, 0, 1], "attack request")
+    assert result.failed and result.failure.kind == "attack_detected"
+    print("the hijack never executed: grant_admin's 9999 is absent above")
+
+
+if __name__ == "__main__":
+    main()

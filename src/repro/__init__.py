@@ -1,0 +1,52 @@
+"""repro — scalable dynamic information flow tracking and its applications.
+
+A from-scratch reproduction of Gupta et al., IPDPS 2008.  The public
+API re-exports the pieces a downstream user composes:
+
+* :func:`repro.lang.compile_source` — MiniC -> runnable program,
+* :class:`repro.vm.Machine` / :class:`repro.runner.ProgramRunner` — execution,
+* :class:`repro.dift.DIFTEngine` with a taint policy — information flow,
+* :class:`repro.ontrac.OnlineTracer` — online dependence tracing,
+* :mod:`repro.slicing` — dynamic slicing over the traced DDG,
+* the application layers under :mod:`repro.apps`.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from .lang import CompileError, CompiledProgram, compile_program, compile_source
+from .runner import ProgramRunner
+from .vm import (
+    AttackDetected,
+    Hook,
+    InstrEvent,
+    Intervention,
+    Machine,
+    ProgramFailure,
+    RandomScheduler,
+    RoundRobinScheduler,
+    RunResult,
+    RunStatus,
+    ScriptedScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "compile_program",
+    "compile_source",
+    "ProgramRunner",
+    "AttackDetected",
+    "Hook",
+    "InstrEvent",
+    "Intervention",
+    "Machine",
+    "ProgramFailure",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "RunResult",
+    "RunStatus",
+    "ScriptedScheduler",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Applications of the DIFT framework (§3): fault location, fault
+avoidance, software attack detection, data-lineage validation."""
+
+from .adaptive import AdaptiveOptimizer, OptimizationPlan
+
+__all__ = ["AdaptiveOptimizer", "OptimizationPlan"]

@@ -1,0 +1,175 @@
+"""Trace-driven adaptive optimization (§4, "Work in Progress").
+
+The paper closes with: "In addition to employing efficient tracing to
+enable debugging of parallel applications, we also plan to explore its
+use in performing **adaptive optimizations**."  This module builds that
+extension on the same tracing substrate:
+
+* **hot-trace identification** reuses ONTRAC's block-transition
+  counters: paths the tracer fused into super-blocks are exactly the
+  candidates a dynamic optimizer would specialize;
+* **invariance profiling** reuses the value-profile machinery from the
+  fault-location work: an instruction whose dynamic instances always
+  produced one value is a constant-specialization candidate;
+* **redundancy profiling** reuses the tracer's redundant-load detector:
+  load sites that mostly repeat their previous (address, producer) pair
+  are caching candidates.
+
+The optimizer *plans*; applying the plan is modeled as a cycle credit
+(specialized instructions drop to 1 cycle, cached loads skip the memory
+cost) so the report can state an estimated speedup — the honest scope
+for a forward-looking section of a 2008 workshop paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import Opcode
+from ..ontrac.tracer import OnlineTracer, OntracConfig
+from ..runner import ProgramRunner
+from ..vm.events import Hook, InstrEvent
+
+
+@dataclass(frozen=True)
+class HotTrace:
+    """A fused block transition and how often it ran."""
+
+    from_pc: int
+    to_pc: int
+    executions: int
+
+
+@dataclass(frozen=True)
+class InvariantSite:
+    """An instruction that always produced the same value."""
+
+    pc: int
+    value: int
+    executions: int
+
+
+@dataclass(frozen=True)
+class CacheSite:
+    """A load site whose (address, producer) pair mostly repeats."""
+
+    pc: int
+    executions: int
+    redundant: int
+
+    @property
+    def hit_rate(self) -> float:
+        return self.redundant / self.executions if self.executions else 0.0
+
+
+@dataclass
+class OptimizationPlan:
+    hot_traces: list[HotTrace] = field(default_factory=list)
+    invariants: list[InvariantSite] = field(default_factory=list)
+    cache_sites: list[CacheSite] = field(default_factory=list)
+    total_instructions: int = 0
+    base_cycles: int = 0
+    #: modeled cycles saved if the plan were applied.
+    estimated_savings_cycles: int = 0
+
+    @property
+    def estimated_speedup(self) -> float:
+        if self.base_cycles == 0:
+            return 1.0
+        remaining = max(1, self.base_cycles - self.estimated_savings_cycles)
+        return self.base_cycles / remaining
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.hot_traces)} hot traces, "
+            f"{len(self.invariants)} invariant sites, "
+            f"{len(self.cache_sites)} cacheable loads; "
+            f"estimated speedup {self.estimated_speedup:.2f}x"
+        )
+
+
+class _ProfileHook(Hook):
+    """Per-site execution counts, last values, and invariance flags."""
+
+    def __init__(self):
+        self.exec_counts: dict[int, int] = {}
+        self.invariant_value: dict[int, int] = {}
+        self.varying: set[int] = set()
+        self.load_pairs: dict[int, tuple[int, int]] = {}  # pc -> (addr, value)
+        self.load_redundant: dict[int, int] = {}
+        self.load_counts: dict[int, int] = {}
+
+    def on_instruction(self, ev: InstrEvent) -> None:
+        pc = ev.pc
+        self.exec_counts[pc] = self.exec_counts.get(pc, 0) + 1
+        # LI is already a constant; IN values must never be folded.
+        if ev.reg_writes and ev.instr.opcode not in (Opcode.IN, Opcode.LI):
+            value = ev.reg_writes[0][1]
+            if pc not in self.varying:
+                previous = self.invariant_value.get(pc)
+                if previous is None:
+                    self.invariant_value[pc] = value
+                elif previous != value:
+                    self.varying.add(pc)
+                    del self.invariant_value[pc]
+        if ev.instr.opcode in (Opcode.LOAD, Opcode.POP) and ev.mem_reads:
+            addr, value = ev.mem_reads[0]
+            self.load_counts[pc] = self.load_counts.get(pc, 0) + 1
+            if self.load_pairs.get(pc) == (addr, value):
+                self.load_redundant[pc] = self.load_redundant.get(pc, 0) + 1
+            self.load_pairs[pc] = (addr, value)
+
+
+class AdaptiveOptimizer:
+    """Profiles one run and produces an :class:`OptimizationPlan`."""
+
+    #: a site must execute at least this often to be worth specializing.
+    MIN_EXECUTIONS = 8
+    #: minimum redundant-load hit rate for a caching candidate.
+    MIN_HIT_RATE = 0.5
+
+    def __init__(self, runner: ProgramRunner, hot_trace_threshold: int = 16):
+        self.runner = runner
+        self.hot_trace_threshold = hot_trace_threshold
+
+    def plan(self) -> OptimizationPlan:
+        machine = self.runner.machine()
+        tracer = OnlineTracer(
+            self.runner.program,
+            OntracConfig(
+                hot_trace_threshold=self.hot_trace_threshold,
+                record_control=False,  # profiling does not need control deps
+                charge_overhead=False,
+            ),
+        ).attach(machine)
+        profile = _ProfileHook()
+        machine.hooks.subscribe(profile)
+        result = machine.run(max_instructions=self.runner.max_instructions)
+
+        plan = OptimizationPlan(
+            total_instructions=result.instructions, base_cycles=result.cycles.base
+        )
+        for (from_pc, to_pc) in sorted(tracer._hot_transitions):
+            executions = tracer._transition_counts.get((from_pc, to_pc), 0)
+            plan.hot_traces.append(HotTrace(from_pc, to_pc, executions))
+
+        cost_table = machine.cost_model
+        savings = 0
+        for pc, value in sorted(profile.invariant_value.items()):
+            executions = profile.exec_counts.get(pc, 0)
+            if executions < self.MIN_EXECUTIONS:
+                continue
+            instr = self.runner.program.code[pc]
+            per_instr = cost_table.cost(instr.opcode)
+            if per_instr > 1:  # replacing with a constant move saves cost-1
+                savings += (per_instr - 1) * executions
+            plan.invariants.append(InvariantSite(pc=pc, value=value, executions=executions))
+        for pc, redundant in sorted(profile.load_redundant.items()):
+            executions = profile.load_counts.get(pc, 0)
+            site = CacheSite(pc=pc, executions=executions, redundant=redundant)
+            if executions >= self.MIN_EXECUTIONS and site.hit_rate >= self.MIN_HIT_RATE:
+                load_cost = cost_table.cost(Opcode.LOAD)
+                savings += (load_cost - 1) * redundant
+                plan.cache_sites.append(site)
+        plan.estimated_savings_cycles = savings
+        return plan

@@ -1,0 +1,23 @@
+"""Fault avoidance via environment perturbation (§3.2)."""
+
+from .framework import (
+    AvoidanceAttempt,
+    AvoidanceOutcome,
+    FaultAvoidanceFramework,
+    FilterInputStrategy,
+    PadAllocationsStrategy,
+    RescheduleStrategy,
+)
+from .patches import EnvironmentPatch, FaultSignature, PatchFile
+
+__all__ = [
+    "AvoidanceAttempt",
+    "AvoidanceOutcome",
+    "FaultAvoidanceFramework",
+    "FilterInputStrategy",
+    "PadAllocationsStrategy",
+    "RescheduleStrategy",
+    "EnvironmentPatch",
+    "FaultSignature",
+    "PatchFile",
+]

@@ -1,0 +1,102 @@
+"""Environment patches (§3.2).
+
+When the fault-avoidance framework finds an environment change that
+makes a failure disappear, it records the fix as an **environment
+patch**: "all future executions of this application refer to this patch
+to figure out the safe execution environment".  A patch never modifies
+the program — only its execution environment (scheduling, allocator,
+input handling), which is what makes the approach safe to apply
+automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...runner import ProgramRunner
+from ...vm.machine import Machine
+from ...vm.scheduler import RoundRobinScheduler
+
+
+@dataclass(frozen=True)
+class FaultSignature:
+    """Identifies which failures a patch targets."""
+
+    kind: str  # FailureInfo.kind
+    pc: int  # static failure location (-1 = any)
+
+    def matches(self, kind: str, pc: int) -> bool:
+        return self.kind == kind and (self.pc == -1 or self.pc == pc)
+
+
+@dataclass
+class EnvironmentPatch:
+    """One recorded environment fix."""
+
+    signature: FaultSignature
+    strategy: str  # "reschedule" | "pad-allocations" | "filter-input"
+    #: strategy parameters, e.g. {"quantum": 1000} or {"padding": 4}
+    #: or {"positions": [...], "replacement": 1}.
+    params: dict = field(default_factory=dict)
+    description: str = ""
+
+    def apply_to_runner(self, runner: ProgramRunner) -> ProgramRunner:
+        """Return a runner configured with this patch's environment."""
+        patched = ProgramRunner(
+            program=runner.program,
+            inputs={k: list(v) for k, v in runner.inputs.items()},
+            args=runner.args,
+            scheduler_factory=runner.scheduler_factory,
+            max_instructions=runner.max_instructions,
+        )
+        if self.strategy == "reschedule":
+            quantum = self.params["quantum"]
+            patched.scheduler_factory = lambda: RoundRobinScheduler(quantum=quantum)
+        elif self.strategy == "filter-input":
+            positions = set(self.params["positions"])
+            replacement = self.params["replacement"]
+            channel = self.params.get("channel", 0)
+            values = patched.inputs.get(channel, [])
+            patched.inputs[channel] = [
+                replacement if i in positions else v for i, v in enumerate(values)
+            ]
+        # "pad-allocations" is applied at machine level; see configure_machine.
+        return patched
+
+    def configure_machine(self, machine: Machine) -> None:
+        """Machine-level knobs (allocator padding)."""
+        if self.strategy == "pad-allocations":
+            machine.memory.alloc_padding = self.params["padding"]
+
+
+@dataclass
+class PatchFile:
+    """The persistent patch store consulted by future runs.
+
+    Checking the patch file "is piggybacked with the logging of events.
+    Hence, the only overhead incurred ... is that of
+    checkpointing/logging" — modeled as a constant per-run lookup cost.
+    """
+
+    patches: list[EnvironmentPatch] = field(default_factory=list)
+    lookup_cycles: int = 50
+
+    def record(self, patch: EnvironmentPatch) -> None:
+        self.patches.append(patch)
+
+    def find(self, kind: str, pc: int) -> EnvironmentPatch | None:
+        for patch in self.patches:
+            if patch.signature.matches(kind, pc):
+                return patch
+        return None
+
+    def protected_run(self, runner: ProgramRunner, kind: str, pc: int):
+        """Run with the matching patch applied (the 'future execution')."""
+        patch = self.find(kind, pc)
+        effective = patch.apply_to_runner(runner) if patch else runner
+        machine = effective.machine()
+        if patch is not None:
+            patch.configure_machine(machine)
+        machine.add_overhead(self.lookup_cycles)
+        result = machine.run(max_instructions=effective.max_instructions)
+        return machine, result, patch

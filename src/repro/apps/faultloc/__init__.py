@@ -1,0 +1,25 @@
+"""Fault location (§3.1): slicing, pruning, chops, predicate switching
+(via repro.slicing.implicit), and value-replacement ranking."""
+
+from .chops import ChopReport, best_chop, failure_inducing_chop, input_instances
+from .locator import FaultLocalizationReport, OutputRecorder, SliceBasedFaultLocator
+from .value_replace import (
+    IVMP,
+    ValueProfiler,
+    ValueReplacementRanker,
+    ValueReplacementReport,
+)
+
+__all__ = [
+    "ChopReport",
+    "best_chop",
+    "failure_inducing_chop",
+    "input_instances",
+    "FaultLocalizationReport",
+    "OutputRecorder",
+    "SliceBasedFaultLocator",
+    "IVMP",
+    "ValueProfiler",
+    "ValueReplacementRanker",
+    "ValueReplacementReport",
+]

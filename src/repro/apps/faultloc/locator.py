@@ -1,0 +1,100 @@
+"""Slicing-based fault location (§3.1, [13,14,17]).
+
+The baseline debugging workflow the paper's ecosystem supports: run the
+failing execution under ONTRAC, take the first incorrect output as the
+slicing criterion, compute its backward dynamic slice, optionally prune
+with output-correctness confidence ([17]), and hand the programmer a
+ranked fault-candidate set of source statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...lang.codegen import CompiledProgram
+from ...ontrac.tracer import OntracConfig
+from ...runner import ProgramRunner
+from ...slicing.pruning import classify_outputs, kept_pcs, prune_slice
+from ...slicing.slicer import backward_slice
+from ...vm.events import Hook, InstrEvent
+from ...isa.instructions import Opcode
+
+
+class OutputRecorder(Hook):
+    """Captures (seq, value) of every value emitted on one channel."""
+
+    def __init__(self, channel: int = 1):
+        self.channel = channel
+        self.events: list[tuple[int, int]] = []
+
+    def on_instruction(self, ev: InstrEvent) -> None:
+        if ev.instr.opcode is Opcode.OUT and ev.channel == self.channel:
+            self.events.append((ev.seq, ev.io_value))
+
+
+@dataclass
+class FaultLocalizationReport:
+    criterion_seq: int
+    #: fault candidates before pruning (static pcs / source lines).
+    slice_pcs: set[int] = field(default_factory=set)
+    slice_lines: set[int] = field(default_factory=set)
+    #: after confidence pruning.
+    pruned_pcs: set[int] = field(default_factory=set)
+    pruned_lines: set[int] = field(default_factory=set)
+    truncated: bool = False
+
+    def contains_bug(self, bug_lines: set[int], pruned: bool = True) -> bool:
+        lines = self.pruned_lines if pruned else self.slice_lines
+        return bool(lines & bug_lines)
+
+    @property
+    def reduction(self) -> float:
+        if not self.slice_lines:
+            return 0.0
+        return 1.0 - len(self.pruned_lines) / len(self.slice_lines)
+
+
+class SliceBasedFaultLocator:
+    """Locate faults by slicing the first incorrect output."""
+
+    def __init__(
+        self,
+        runner: ProgramRunner,
+        compiled: CompiledProgram,
+        expected_output: list[int],
+        output_channel: int = 1,
+        trace_config: OntracConfig | None = None,
+    ):
+        self.runner = runner
+        self.compiled = compiled
+        self.expected_output = expected_output
+        self.output_channel = output_channel
+        self.trace_config = trace_config or OntracConfig(buffer_bytes=1 << 22)
+
+    def locate(self) -> FaultLocalizationReport:
+        recorder = OutputRecorder(self.output_channel)
+        machine = self.runner.machine()
+        from ...ontrac.tracer import OnlineTracer
+
+        tracer = OnlineTracer(self.runner.program, self.trace_config).attach(machine)
+        machine.hooks.subscribe(recorder)
+        machine.run(max_instructions=self.runner.max_instructions)
+
+        ddg = tracer.dependence_graph()
+        correct, incorrect = classify_outputs(ddg, recorder.events, self.expected_output)
+        if not incorrect:
+            raise ValueError("the run's output matches the expected output; nothing to locate")
+        criterion = min(incorrect)  # first wrong output instance
+
+        sl = backward_slice(ddg, criterion)
+        pruned = prune_slice(ddg, sl, correct, incorrect)
+        line_of = self.compiled.line_of
+        report = FaultLocalizationReport(
+            criterion_seq=criterion,
+            slice_pcs=set(sl.pcs),
+            slice_lines={line_of(pc) for pc in sl.pcs if line_of(pc)},
+            pruned_pcs=kept_pcs(ddg, pruned),
+            pruned_lines={line_of(pc) for pc in kept_pcs(ddg, pruned) if line_of(pc)},
+            truncated=sl.truncated,
+        )
+        return report

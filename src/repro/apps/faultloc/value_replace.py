@@ -1,0 +1,184 @@
+"""Fault localization by value replacement (§3.1, citing [2]).
+
+"The key idea is to see which program statements exercised during a
+failing run use values that can be altered so that the execution
+instead produces correct output."  Unlike slicing this is dependence-
+free, so it "can uniformly handle all errors irrespective of whether or
+not they are captured by dynamic slices" — including execution-omission
+errors.
+
+Procedure:
+
+1. run the failing execution once, recording a **value profile**: every
+   value defined at every statement instance (capped);
+2. build the **alternate-value set** of each statement from values the
+   same statement produced at other instances, in passing runs, and a
+   few generic probes (0, 1, -1, value±1);
+3. for each (statement instance, alternate value), re-execute with that
+   single definition rewritten; if the program now emits the expected
+   output, the pair is an *interesting value-mapping pair* (IVMP);
+4. rank statements by their IVMP count.
+
+Statements at or adjacent to the fault accumulate the most IVMPs, so
+the bug line lands at/near rank 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...isa.instructions import Instruction, Opcode
+from ...lang.codegen import CompiledProgram
+from ...runner import ProgramRunner
+from ...vm.events import Hook, InstrEvent
+from ...vm.machine import Intervention
+
+#: opcodes whose definitions we consider "statement values" worth probing.
+_PROBED_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+        Opcode.SEQ, Opcode.SNE, Opcode.SLT, Opcode.SLE, Opcode.SGT,
+        Opcode.SGE, Opcode.ADDI, Opcode.MULI, Opcode.NOT, Opcode.NEG,
+        Opcode.LI, Opcode.LOAD, Opcode.IN,
+    }
+)
+
+
+class ValueProfiler(Hook):
+    """Records (pc -> [(occurrence, defined value), ...])."""
+
+    def __init__(self, max_instances_per_pc: int = 64):
+        self.max_instances = max_instances_per_pc
+        self.profile: dict[int, list[tuple[int, int]]] = {}
+        self._occurrences: dict[int, int] = {}
+
+    def on_instruction(self, ev: InstrEvent) -> None:
+        if ev.instr.opcode not in _PROBED_OPS or not ev.reg_writes:
+            return
+        occurrence = self._occurrences.get(ev.pc, 0)
+        self._occurrences[ev.pc] = occurrence + 1
+        bucket = self.profile.setdefault(ev.pc, [])
+        if len(bucket) < self.max_instances:
+            bucket.append((occurrence, ev.reg_writes[0][1]))
+
+
+class _Replacer(Intervention):
+    def __init__(self, pc: int, occurrence: int, value: int):
+        self.pc = pc
+        self.occurrence = occurrence
+        self.value = value
+        self.fired = False
+
+    def transform_def(self, instr: Instruction, occurrence: int, value: int) -> int:
+        if instr.index == self.pc and occurrence == self.occurrence:
+            self.fired = True
+            return self.value
+        return value
+
+
+@dataclass
+class IVMP:
+    """One interesting value-mapping pair."""
+
+    pc: int
+    occurrence: int
+    original: int
+    replacement: int
+
+
+@dataclass
+class ValueReplacementReport:
+    ivmps: list[IVMP] = field(default_factory=list)
+    replacements_tried: int = 0
+    #: source line -> IVMP count, descending.
+    ranking: list[tuple[int, int]] = field(default_factory=list)
+
+    def rank_of_line(self, line: int) -> int | None:
+        """1-based rank of ``line`` (ties share the better rank)."""
+        previous_count = None
+        rank = 0
+        for i, (ln, count) in enumerate(self.ranking):
+            if count != previous_count:
+                rank = i + 1
+                previous_count = count
+            if ln == line:
+                return rank
+        return None
+
+
+class ValueReplacementRanker:
+    def __init__(
+        self,
+        runner: ProgramRunner,
+        compiled: CompiledProgram,
+        expected_output: list[int],
+        passing_runner: ProgramRunner | None = None,
+        output_channel: int = 1,
+        max_replacements: int = 400,
+        max_instances_per_pc: int = 8,
+    ):
+        self.runner = runner
+        self.compiled = compiled
+        self.expected_output = expected_output
+        self.passing_runner = passing_runner
+        self.output_channel = output_channel
+        self.max_replacements = max_replacements
+        self.max_instances_per_pc = max_instances_per_pc
+
+    def _profile(self, runner: ProgramRunner) -> dict[int, list[tuple[int, int]]]:
+        profiler = ValueProfiler(self.max_instances_per_pc)
+        runner.run(hooks=(profiler,))
+        return profiler.profile
+
+    def _alternates(
+        self,
+        pc: int,
+        original: int,
+        failing: dict[int, list[tuple[int, int]]],
+        passing: dict[int, list[tuple[int, int]]],
+    ) -> list[int]:
+        candidates: list[int] = []
+        for _, value in passing.get(pc, []):
+            candidates.append(value)
+        for _, value in failing.get(pc, []):
+            candidates.append(value)
+        candidates.extend((original + 1, original - 1, 0, 1))
+        seen: set[int] = set()
+        unique = []
+        for value in candidates:
+            if value != original and value not in seen:
+                seen.add(value)
+                unique.append(value)
+        return unique[:6]
+
+    def rank(self) -> ValueReplacementReport:
+        failing_profile = self._profile(self.runner)
+        passing_profile = (
+            self._profile(self.passing_runner) if self.passing_runner is not None else {}
+        )
+        report = ValueReplacementReport()
+        counts: dict[int, int] = {}
+        for pc, instances in sorted(failing_profile.items()):
+            for occurrence, original in instances:
+                for alt in self._alternates(pc, original, failing_profile, passing_profile):
+                    if report.replacements_tried >= self.max_replacements:
+                        break
+                    report.replacements_tried += 1
+                    replacer = _Replacer(pc, occurrence, alt)
+                    machine, result = self.runner.run(intervention=replacer)
+                    if (
+                        not result.failed
+                        and machine.io.output(self.output_channel) == self.expected_output
+                    ):
+                        report.ivmps.append(
+                            IVMP(pc=pc, occurrence=occurrence, original=original, replacement=alt)
+                        )
+        line_counts: dict[int, int] = {}
+        for ivmp in report.ivmps:
+            line = self.compiled.line_of(ivmp.pc)
+            if line:
+                line_counts[line] = line_counts.get(line, 0) + 1
+        report.ranking = sorted(line_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        counts.clear()
+        return report

@@ -1,0 +1,33 @@
+"""Data-lineage tracing and validation (§3.4): roBDD-backed lineage
+sets as a DIFT taint policy."""
+
+from .lineage_sets import (
+    BDD_BYTES_PER_NODE,
+    NAIVE_BYTES_PER_ELEMENT,
+    BDDLabel,
+    BDDLineageStore,
+    NaiveLineageStore,
+    decode_input,
+    encode_input,
+)
+from .robdd import BDDManager
+from .tracer import LineagePolicy, LineageTrace, LineageTracer, OutputLineage
+from .validation import ValidationReport, screen_outputs, verify_against_reference
+
+__all__ = [
+    "BDD_BYTES_PER_NODE",
+    "NAIVE_BYTES_PER_ELEMENT",
+    "BDDLabel",
+    "BDDLineageStore",
+    "NaiveLineageStore",
+    "decode_input",
+    "encode_input",
+    "BDDManager",
+    "LineagePolicy",
+    "LineageTrace",
+    "LineageTracer",
+    "OutputLineage",
+    "ValidationReport",
+    "screen_outputs",
+    "verify_against_reference",
+]

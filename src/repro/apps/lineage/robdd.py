@@ -1,0 +1,196 @@
+"""Reduced ordered binary decision diagrams (roBDD).
+
+§3.4 represents lineage sets as roBDDs because scientific lineage sets
+"often have significant overlap" and their members are "clustered" —
+both structures that collapse to tiny shared DAGs under a binary
+encoding of input indices.
+
+This is a classic shared-manager implementation:
+
+* nodes are ``(var, lo, hi)`` triples interned in a **unique table**
+  (hash-consing), so structurally equal subgraphs are the same node and
+  equality is pointer equality;
+* reduction is by construction: ``mk`` never creates a node whose two
+  children are equal;
+* ``apply`` (AND/OR) memoizes on ``(op, a, b)``;
+* sets of non-negative integers are encoded over ``bits`` boolean
+  variables, most-significant bit first, so *contiguous ranges* share
+  long prefix paths — exactly the clustering payoff.
+
+Node ids 0 and 1 are the terminals.  The manager's node count is the
+shared memory footprint across *all* sets built in it, which is what
+the E12 memory comparison measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class BDDManager:
+    """Shared unique-table / apply-cache for one family of BDDs."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, bits: int = 20):
+        if bits < 1:
+            raise ValueError("need at least one variable bit")
+        self.bits = bits
+        # nodes[id] = (var, lo, hi); entries 0/1 are terminal placeholders.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._count_cache: dict[int, int] = {}
+
+    # -- structural ----------------------------------------------------
+    def var_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def low(self, node: int) -> int:
+        return self._nodes[node][1]
+
+    def high(self, node: int) -> int:
+        return self._nodes[node][2]
+
+    def mk(self, var: int, lo: int, hi: int) -> int:
+        """Interned, reduced node constructor."""
+        if lo == hi:
+            return lo
+        key = (var, lo, hi)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    @property
+    def node_count(self) -> int:
+        """Total interned non-terminal nodes (shared footprint)."""
+        return len(self._nodes) - 2
+
+    def reachable_count(self, root: int) -> int:
+        """Nodes reachable from ``root`` (size of one set's DAG)."""
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            n = stack.pop()
+            if n <= 1 or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self.low(n))
+            stack.append(self.high(n))
+        return len(seen)
+
+    # -- construction ---------------------------------------------------------
+    def singleton(self, value: int) -> int:
+        """BDD for the set {value}."""
+        if not 0 <= value < (1 << self.bits):
+            raise ValueError(f"value {value} out of range for {self.bits} bits")
+        node = self.TRUE
+        for var in range(self.bits - 1, -1, -1):
+            bit = (value >> (self.bits - 1 - var)) & 1
+            node = self.mk(var, self.FALSE, node) if bit else self.mk(var, node, self.FALSE)
+        return node
+
+    def from_iterable(self, values) -> int:
+        node = self.FALSE
+        for v in values:
+            node = self.union(node, self.singleton(v))
+        return node
+
+    # -- boolean operations -------------------------------------------------------
+    def _apply(self, op: str, a: int, b: int) -> int:
+        if op == "or":
+            if a == self.TRUE or b == self.TRUE:
+                return self.TRUE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+        else:  # and
+            if a == self.FALSE or b == self.FALSE:
+                return self.FALSE
+            if a == self.TRUE:
+                return b
+            if b == self.TRUE:
+                return a
+        if a == b:
+            return a
+        if a > b:
+            a, b = b, a  # ops are commutative: canonicalize the cache key
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        va, vb = self.var_of(a), self.var_of(b)
+        if va == vb:
+            node = self.mk(
+                va,
+                self._apply(op, self.low(a), self.low(b)),
+                self._apply(op, self.high(a), self.high(b)),
+            )
+        elif va < vb:
+            node = self.mk(va, self._apply(op, self.low(a), b), self._apply(op, self.high(a), b))
+        else:
+            node = self.mk(vb, self._apply(op, a, self.low(b)), self._apply(op, a, self.high(b)))
+        self._apply_cache[key] = node
+        return node
+
+    def union(self, a: int, b: int) -> int:
+        return self._apply("or", a, b)
+
+    def intersect(self, a: int, b: int) -> int:
+        return self._apply("and", a, b)
+
+    # -- queries -----------------------------------------------------------------
+    def contains(self, node: int, value: int) -> bool:
+        var = 0
+        while node > 1:
+            nvar = self.var_of(node)
+            # skipped variables are don't-care: follow the value's bit
+            var = nvar
+            bit = (value >> (self.bits - 1 - var)) & 1
+            node = self.high(node) if bit else self.low(node)
+        return node == self.TRUE
+
+    def count(self, node: int) -> int:
+        """|set| — number of satisfying assignments."""
+
+        def rec(n: int, var: int) -> int:
+            if n == self.FALSE:
+                return 0
+            if n == self.TRUE:
+                return 1 << (self.bits - var)
+            cached = self._count_cache.get(n)
+            if cached is None:
+                nv = self.var_of(n)
+                cached = rec(self.low(n), nv + 1) + rec(self.high(n), nv + 1)
+                self._count_cache[n] = cached
+            # account for variables skipped between var and var_of(n)
+            return cached << (self.var_of(n) - var)
+
+        return rec(node, 0)
+
+    def to_set(self, node: int) -> set[int]:
+        """Enumerate the set (use on small sets / in tests)."""
+        result: set[int] = set()
+
+        def rec(n: int, var: int, prefix: int) -> None:
+            if n == self.FALSE:
+                return
+            if var == self.bits:
+                if n == self.TRUE:
+                    result.add(prefix)
+                return
+            if n != self.TRUE and self.var_of(n) == var:
+                rec(self.low(n), var + 1, prefix << 1)
+                rec(self.high(n), var + 1, (prefix << 1) | 1)
+            else:
+                # variable skipped: both branches
+                rec(n, var + 1, prefix << 1)
+                rec(n, var + 1, (prefix << 1) | 1)
+
+        rec(node, 0, 0)
+        return result

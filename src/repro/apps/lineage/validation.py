@@ -1,0 +1,69 @@
+"""Scientific data validation via lineage queries (§3.4).
+
+The paper's motivating use: "applying the system to a realistic
+bio-chemistry application ... identifies a few false positives in a
+real experiment, which may otherwise result in highly expensive
+wet-bench experiments."  The workflow: trace lineage, then validate
+suspicious *outputs* by checking which *inputs* they actually depend
+on — an output whose lineage includes a known-bad input is a false
+positive of the scientific analysis; an output whose lineage avoids
+all bad inputs is trustworthy regardless of the contamination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lineage_sets import encode_input
+from .tracer import LineageTrace
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of screening outputs against contaminated inputs."""
+
+    contaminated_inputs: set[int]  # input indices (channel 0)
+    #: output positions whose lineage touches a contaminated input.
+    suspect_outputs: list[int] = field(default_factory=list)
+    #: output positions proven independent of the contamination.
+    cleared_outputs: list[int] = field(default_factory=list)
+
+    @property
+    def false_positive_candidates(self) -> list[int]:
+        """Outputs that would have been trusted without lineage."""
+        return self.suspect_outputs
+
+
+def screen_outputs(
+    trace: LineageTrace, contaminated: set[int], channel: int = 0
+) -> ValidationReport:
+    """Partition traced outputs by dependence on contaminated inputs."""
+    bad_ids = {encode_input(channel, i) for i in contaminated}
+    report = ValidationReport(contaminated_inputs=set(contaminated))
+    for out in trace.outputs:
+        if out.inputs & bad_ids:
+            report.suspect_outputs.append(out.position)
+        else:
+            report.cleared_outputs.append(out.position)
+    return report
+
+
+def verify_against_reference(
+    trace: LineageTrace, expected_lineage, channel: int = 0
+) -> tuple[int, list[tuple[int, set[int], set[int]]]]:
+    """Compare traced lineage against a ground-truth function.
+
+    Returns ``(num_exact_matches, mismatches)`` where each mismatch is
+    ``(position, traced, expected)``.  The workload builders in
+    :mod:`repro.workloads.scientific` supply ``expected_lineage``.
+    """
+    matches = 0
+    mismatches: list[tuple[int, set[int], set[int]]] = []
+    for out in trace.outputs:
+        traced = out.input_indices(channel)
+        expected = set(expected_lineage(out.position))
+        if traced == expected:
+            matches += 1
+        else:
+            mismatches.append((out.position, traced, expected))
+    return matches, mismatches

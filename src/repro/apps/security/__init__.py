@@ -1,0 +1,14 @@
+"""Software attack detection and root-cause location (§3.3)."""
+
+from .attacks import AttackScenario, attack_corpus, credential_leak, fptr_overflow, index_hijack
+from .monitor import AttackMonitor, AttackReport
+
+__all__ = [
+    "AttackScenario",
+    "attack_corpus",
+    "credential_leak",
+    "fptr_overflow",
+    "index_hijack",
+    "AttackMonitor",
+    "AttackReport",
+]

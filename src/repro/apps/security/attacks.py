@@ -1,0 +1,140 @@
+"""Attack scenario corpus (§3.3).
+
+"72% of the total vulnerabilities discovered in the year 2006 are
+attributed to a lack of (proper) input validation" — these scenarios
+model that class: each is a small service with an input-validation bug,
+a benign input that exercises it safely, and a crafted input that turns
+the bug into a control or data hijack.
+
+* ``fptr_overflow``   — unchecked copy length overflows a heap buffer
+  into an adjacent function pointer; the crafted input redirects an
+  ``icall`` to a privileged function (control hijack).
+* ``index_hijack``    — unvalidated index writes through a dispatch
+  table, redirecting an indirect call (data->control hijack).
+* ``credential_leak`` — an unvalidated record id lets a response echo
+  an adjacent secret onto the public channel (information leak); the
+  secret arrives on a privileged input channel, so this scenario
+  exercises DIFT in the *confidentiality* direction (source = secret
+  channel, sink = public output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...lang.codegen import CompiledProgram, compile_source
+from ...runner import ProgramRunner
+
+
+@dataclass
+class AttackScenario:
+    name: str
+    compiled: CompiledProgram
+    benign_inputs: dict[int, list[int]]
+    attack_inputs: dict[int, list[int]]
+    #: acceptable root-cause statement lines (ground truth for E11); the
+    #: paper claims the PC label points at or directly adjacent to the
+    #: root cause "in most cases", so adjacency counts.
+    root_cause_lines: frozenset[int]
+    #: expected sink kind ("icall" | "out").
+    sink: str
+    #: which input channels source taint (None = all).
+    source_channels: frozenset[int] | None = None
+    description: str = ""
+
+    def runner(self, attack: bool = True) -> ProgramRunner:
+        inputs = self.attack_inputs if attack else self.benign_inputs
+        return ProgramRunner(
+            self.compiled.program,
+            inputs={k: list(v) for k, v in inputs.items()},
+            max_instructions=2_000_000,
+        )
+
+
+def fptr_overflow() -> AttackScenario:
+    src = (
+        "fn greet(x) { out(100 + x, 1); }\n"  # 1
+        "fn grant_admin(x) { out(9999, 1); }\n"  # 2  privileged
+        "fn main() {\n"  # 3
+        "    var buf = alloc(4);\n"  # 4
+        "    var handler = alloc(1);\n"  # 5  adjacent to buf
+        "    handler[0] = fnid(greet);\n"  # 6
+        "    var n = in(0);\n"  # 7  attacker-controlled length
+        "    var i = 0;\n"  # 8
+        "    while (i < n) {\n"  # 9
+        "        buf[i] = in(0);\n"  # 10  BUG: no bounds check
+        "        i = i + 1;\n"  # 11
+        "    }\n"
+        "    icall(handler[0], 7);\n"  # 13  the hijacked sink
+        "}\n"
+    )
+    compiled = compile_source(src)
+    admin_id = compiled.program.functions["grant_admin"].fid
+    return AttackScenario(
+        name="fptr-overflow",
+        compiled=compiled,
+        benign_inputs={0: [2, 11, 22]},
+        attack_inputs={0: [5, 0, 0, 0, 0, admin_id]},
+        root_cause_lines=frozenset({10}),
+        sink="icall",
+        description="heap overflow overwrites an adjacent function pointer",
+    )
+
+
+def index_hijack() -> AttackScenario:
+    src = (
+        "global table[4];\n"  # 1  dispatch table
+        "fn op_read(x) { out(1, 1); }\n"  # 2
+        "fn op_write(x) { out(2, 1); }\n"  # 3
+        "fn op_admin(x) { out(3333, 1); }\n"  # 4  privileged
+        "fn main() {\n"  # 5
+        "    table[0] = fnid(op_read);\n"  # 6
+        "    table[1] = fnid(op_write);\n"  # 7
+        "    var slot = in(0);\n"  # 8  attacker-controlled slot
+        "    var value = in(0);\n"  # 9  attacker-controlled id
+        "    table[slot] = value;\n"  # 10  BUG: slot not validated
+        "    var cmd = in(0);\n"  # 11
+        "    icall(table[cmd % 2], 0);\n"  # 12  the hijacked sink
+        "}\n"
+    )
+    compiled = compile_source(src)
+    admin_id = compiled.program.functions["op_admin"].fid
+    return AttackScenario(
+        name="index-hijack",
+        compiled=compiled,
+        benign_inputs={0: [1, 0, 0]},  # legitimately set table[1] = op_read
+        attack_inputs={0: [0, admin_id, 0]},  # overwrite slot 0 with op_admin
+        root_cause_lines=frozenset({9, 10}),  # the unvalidated field / its store
+        sink="icall",
+        description="unvalidated table index lets input become a call target",
+    )
+
+
+def credential_leak() -> AttackScenario:
+    src = (
+        "global records[4];\n"  # 1  public records
+        "global secret;\n"  # 2  adjacent secret
+        "fn main() {\n"  # 3
+        "    records[0] = 10;\n"  # 4
+        "    records[1] = 11;\n"  # 5
+        "    records[2] = 12;\n"  # 6
+        "    records[3] = 13;\n"  # 7
+        "    secret = in(2);\n"  # 8  the secret (privileged channel)
+        "    var id = in(0);\n"  # 9  attacker-controlled record id
+        "    out(records[id], 1);\n"  # 10  BUG: id not validated (can read secret)
+        "}\n"
+    )
+    return AttackScenario(
+        name="credential-leak",
+        compiled=compile_source(src),
+        benign_inputs={0: [2], 2: [777000]},
+        attack_inputs={0: [4], 2: [777000]},  # records[4] aliases 'secret'
+        root_cause_lines=frozenset({8, 10}),
+        sink="out",
+        source_channels=frozenset({2}),
+        description="unvalidated index leaks a privileged-channel secret publicly",
+    )
+
+
+def attack_corpus() -> list[AttackScenario]:
+    return [fptr_overflow(), index_hijack(), credential_leak()]

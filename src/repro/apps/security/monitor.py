@@ -1,0 +1,100 @@
+"""The attack monitor: DIFT-based detection plus PC-taint bug location
+(§3.3).
+
+Classic DIFT stops the attack at the sink; the paper's addition is that
+the same infrastructure also *explains* it: "instead of propagating the
+boolean taint values, we propagate PC values ... when an attack is
+detected, the PC taint value of the tainted memory location gives us
+the most recent instruction that wrote to it ... in most cases this
+directly points to the statement that is the root cause of the bug."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...dift.engine import DIFTEngine, SinkRule, TaintAlert
+from ...dift.policy import BoolTaintPolicy, PCTaintPolicy
+from ...lang.codegen import CompiledProgram
+from ...runner import ProgramRunner
+from ...vm.machine import RunResult, RunStatus
+
+
+@dataclass
+class AttackReport:
+    scenario: str
+    detected: bool
+    #: run ended by the DIFT trap (vs crashed or completed).
+    stopped_by_dift: bool
+    result: RunResult
+    alert: TaintAlert | None = None
+    #: root-cause statement (PC-taint payload), -1 with boolean taint.
+    culprit_pc: int = -1
+    culprit_line: int = 0
+
+    @property
+    def hijack_succeeded(self) -> bool:
+        """The attack ran to completion unobstructed."""
+        return not self.detected and self.result.status is RunStatus.EXITED
+
+
+class AttackMonitor:
+    """Runs a program under DIFT with attack sinks armed."""
+
+    def __init__(
+        self,
+        policy: str = "pc",
+        sinks: list[SinkRule] | None = None,
+        source_channels: frozenset[int] | None = None,
+        propagate_addresses: bool = False,
+    ):
+        self.policy_name = policy
+        self.sinks = sinks
+        self.source_channels = source_channels
+        self.propagate_addresses = propagate_addresses
+
+    def _make_engine(self) -> DIFTEngine:
+        policy = PCTaintPolicy() if self.policy_name == "pc" else BoolTaintPolicy()
+        sinks = self.sinks
+        if sinks is None:
+            sinks = [SinkRule(kind="icall", action="raise"), SinkRule(kind="out", action="raise")]
+        return DIFTEngine(
+            policy,
+            sinks=sinks,
+            source_channels=self.source_channels,
+            propagate_addresses=self.propagate_addresses,
+        )
+
+    @classmethod
+    def for_scenario(cls, scenario, policy: str = "pc") -> "AttackMonitor":
+        """A monitor configured for one :class:`AttackScenario`."""
+        sinks = [SinkRule(kind=scenario.sink, action="raise")]
+        return cls(policy=policy, sinks=sinks, source_channels=scenario.source_channels)
+
+    def monitor(
+        self,
+        runner: ProgramRunner,
+        compiled: CompiledProgram | None = None,
+        scenario: str = "",
+    ) -> AttackReport:
+        engine = self._make_engine()
+        machine = runner.machine()
+        engine.attach(machine)
+        result = machine.run(max_instructions=runner.max_instructions)
+        detected = bool(engine.alerts)
+        alert = engine.alerts[0] if engine.alerts else None
+        culprit = -1
+        if alert is not None and self.policy_name == "pc":
+            culprit = alert.label
+        return AttackReport(
+            scenario=scenario,
+            detected=detected,
+            stopped_by_dift=(
+                result.failed and result.failure is not None
+                and result.failure.kind == "attack_detected"
+            ),
+            result=result,
+            alert=alert,
+            culprit_pc=culprit,
+            culprit_line=compiled.line_of(culprit) if compiled and culprit >= 0 else 0,
+        )

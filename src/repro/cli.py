@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE``          — compile & execute a MiniC program
+* ``disasm FILE``       — compile and print the mini-ISA disassembly
+* ``trace FILE``        — execute under ONTRAC; print tracing statistics
+* ``slice FILE --line N`` — trace, then backward-slice the last dynamic
+  instance of source line N; print the slice as source lines
+* ``attack FILE``       — execute under the DIFT attack monitor
+* ``experiments [IDS]`` — run paper experiments (default: all of E1..E12)
+
+Inputs are passed as ``--input CH=V1,V2,...`` (repeatable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .dift.engine import DIFTEngine, SinkRule
+from .dift.policy import BoolTaintPolicy, PCTaintPolicy
+from .lang import CompileError, compile_source
+from .ontrac import OnlineTracer, OntracConfig
+from .runner import ProgramRunner
+from .slicing import backward_slice
+from .vm import Machine
+
+
+def _parse_inputs(pairs: list[str]) -> dict[int, list[int]]:
+    inputs: dict[int, list[int]] = {}
+    for pair in pairs or []:
+        channel_text, _, values_text = pair.partition("=")
+        channel = int(channel_text)
+        values = [int(v) for v in values_text.split(",") if v != ""]
+        inputs.setdefault(channel, []).extend(values)
+    return inputs
+
+
+def _load(path: str):
+    source = Path(path).read_text()
+    return compile_source(source), source
+
+
+def cmd_run(args) -> int:
+    compiled, _ = _load(args.file)
+    machine = Machine(compiled.program)
+    for channel, values in _parse_inputs(args.input).items():
+        machine.io.provide(channel, values)
+    result = machine.run(max_instructions=args.max_instructions)
+    print(f"status: {result.status.value}")
+    if result.failure:
+        print(f"failure: {result.failure}")
+    print(f"instructions: {result.instructions}")
+    print(f"cycles: {result.cycles.total}")
+    for channel in sorted(machine.io.outputs):
+        print(f"out[{channel}]: {machine.io.output(channel)}")
+    return 1 if result.failed else 0
+
+
+def cmd_disasm(args) -> int:
+    compiled, _ = _load(args.file)
+    sys.stdout.write(compiled.program.disassemble())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    compiled, _ = _load(args.file)
+    runner = ProgramRunner(
+        compiled.program,
+        inputs=_parse_inputs(args.input),
+        max_instructions=args.max_instructions,
+    )
+    config = (
+        OntracConfig.unoptimized(buffer_bytes=args.buffer)
+        if args.naive
+        else OntracConfig(buffer_bytes=args.buffer)
+    )
+    machine, tracer, result = runner.run_traced(config)
+    stats = tracer.stats
+    print(f"status: {result.status.value}")
+    print(f"instructions: {stats.instructions}")
+    print(f"stored bytes: {stats.stored_bytes} ({stats.bytes_per_instruction:.2f} B/instr)")
+    print(f"slowdown (cycle model): {result.cycles.slowdown:.1f}x")
+    print(f"history window: {tracer.buffer.window_instructions()} instructions")
+    if stats.skipped:
+        print("optimization hits:")
+        for reason, count in sorted(stats.skipped.items()):
+            print(f"  {reason}: {count}")
+    ddg_stats = tracer.dependence_graph().stats()
+    print(f"DDG: {ddg_stats}")
+    return 0
+
+
+def cmd_slice(args) -> int:
+    compiled, source = _load(args.file)
+    runner = ProgramRunner(
+        compiled.program,
+        inputs=_parse_inputs(args.input),
+        max_instructions=args.max_instructions,
+    )
+    _, tracer, result = runner.run_traced(OntracConfig(buffer_bytes=args.buffer))
+    ddg = tracer.dependence_graph()
+    pcs = compiled.pcs_of_line(args.line)
+    if not pcs:
+        print(f"error: no code generated for line {args.line}", file=sys.stderr)
+        return 2
+    criterion = None
+    for pc in sorted(pcs, reverse=True):
+        criterion = ddg.last_instance_of_pc(pc)
+        if criterion is not None:
+            break
+    if criterion is None:
+        print(f"error: line {args.line} never executed in the window", file=sys.stderr)
+        return 2
+    sl = backward_slice(ddg, criterion)
+    lines = sorted(sl.statement_lines(compiled))
+    print(f"criterion: line {args.line} (dynamic instance seq {criterion})")
+    print(f"slice: {len(sl.seqs)} dynamic instances, {len(lines)} source lines"
+          + (" [TRUNCATED at window edge]" if sl.truncated else ""))
+    source_lines = source.splitlines()
+    for line in lines:
+        text = source_lines[line - 1].strip() if line <= len(source_lines) else "?"
+        print(f"  line {line:3d}: {text}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    compiled, source = _load(args.file)
+    machine = Machine(compiled.program)
+    for channel, values in _parse_inputs(args.input).items():
+        machine.io.provide(channel, values)
+    policy = PCTaintPolicy() if args.policy == "pc" else BoolTaintPolicy()
+    sinks = [SinkRule(kind="icall"), SinkRule(kind="out", channels=None)] \
+        if args.out_sink else [SinkRule(kind="icall")]
+    engine = DIFTEngine(policy, sinks=sinks).attach(machine)
+    result = machine.run(max_instructions=args.max_instructions)
+    if engine.alerts:
+        alert = engine.alerts[0]
+        print(f"ATTACK DETECTED: {alert}")
+        if args.policy == "pc":
+            line = compiled.line_of(alert.label)
+            source_lines = source.splitlines()
+            text = source_lines[line - 1].strip() if 0 < line <= len(source_lines) else "?"
+            print(f"root cause: line {line}: {text}")
+        return 1
+    print(f"clean: {result.status.value}, output {machine.io.output(1)}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .harness import ALL_EXPERIMENTS
+
+    names = args.ids or sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:]))
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"error: unknown experiment {name}", file=sys.stderr)
+            return 2
+        result = ALL_EXPERIMENTS[name]()
+        print(result.table())
+        if result.notes:
+            print(f"notes: {result.notes}")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Scalable DIFT and its applications (IPDPS'08 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="MiniC source file")
+        p.add_argument("--input", action="append", metavar="CH=V1,V2,...",
+                       help="input channel values (repeatable)")
+        p.add_argument("--max-instructions", type=int, default=10_000_000)
+
+    p_run = sub.add_parser("run", help="compile & execute")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_dis = sub.add_parser("disasm", help="print disassembly")
+    p_dis.add_argument("file")
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_trace = sub.add_parser("trace", help="execute under ONTRAC")
+    common(p_trace)
+    p_trace.add_argument("--naive", action="store_true", help="disable all optimizations")
+    p_trace.add_argument("--buffer", type=int, default=1 << 22, help="trace buffer bytes")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_slice = sub.add_parser("slice", help="backward dynamic slice of a source line")
+    common(p_slice)
+    p_slice.add_argument("--line", type=int, required=True)
+    p_slice.add_argument("--buffer", type=int, default=1 << 22)
+    p_slice.set_defaults(func=cmd_slice)
+
+    p_attack = sub.add_parser("attack", help="run under the DIFT attack monitor")
+    common(p_attack)
+    p_attack.add_argument("--policy", choices=("bool", "pc"), default="pc")
+    p_attack.add_argument("--out-sink", action="store_true",
+                          help="also treat output channels as sinks")
+    p_attack.set_defaults(func=cmd_attack)
+
+    p_exp = sub.add_parser("experiments", help="run paper experiments")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (E1..E12); default all")
+    p_exp.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CompileError as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Dynamic information flow tracking: policies, shadow state, engine.
+
+The framework the paper's §3 applications instantiate:
+:class:`BoolTaintPolicy` (attack detection), :class:`PCTaintPolicy`
+(root-cause location), and the lineage policy in
+:mod:`repro.apps.lineage` (data validation).
+"""
+
+from .engine import DIFTEngine, DIFTStats, SinkRule, TaintAlert
+from .policy import BoolTaintPolicy, PCTaintPolicy, TaintPolicy
+from .shadow import ShadowState
+
+__all__ = [
+    "DIFTEngine",
+    "DIFTStats",
+    "SinkRule",
+    "TaintAlert",
+    "BoolTaintPolicy",
+    "PCTaintPolicy",
+    "TaintPolicy",
+    "ShadowState",
+]

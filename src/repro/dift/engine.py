@@ -1,0 +1,231 @@
+"""The DIFT propagation engine.
+
+Subscribes to the VM hook bus and maintains :class:`~repro.dift.shadow.ShadowState`
+under a pluggable :class:`~repro.dift.policy.TaintPolicy`:
+
+* ``in`` instructions *source* taint (configurable per channel),
+* data flows propagate labels register<->register and through memory
+  (loads/stores/push/pop), with spawn passing the argument's label into
+  the child's r0 — the same interprocedural flows the guest's calling
+  convention pushes through r0..r3 and the stack,
+* *sinks* (indirect-call targets, selected output channels) are checked
+  against the shadow; a tainted sink either records a
+  :class:`TaintAlert` or raises :class:`repro.vm.AttackDetected`,
+  stopping the guest the way a hardware DIFT trap would.
+
+Address registers do **not** propagate into loaded/stored values by
+default (classic data-flow DIFT); set ``propagate_addresses=True`` for
+the strict variant — the E11 bench ablates both.
+
+Cost model: each instrumented instruction charges ``check_cycles``
+(the inline test-and-skip stub) plus ``policy.propagate_cycles`` when
+any input is tainted.  The multicore simulator (§2.1) runs this same
+engine on a helper core instead and charges those cycles there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import Opcode
+from ..vm.errors import AttackDetected
+from ..vm.events import Hook, InstrEvent
+from ..vm.machine import Machine
+from .policy import PCTaintPolicy, TaintPolicy
+from .shadow import ShadowState
+
+
+@dataclass(frozen=True)
+class TaintAlert:
+    """A tainted value reached a sink."""
+
+    seq: int
+    tid: int
+    pc: int  # the sink instruction
+    sink: str  # "icall" | "out"
+    label: object
+    description: str
+    #: the value that reached the sink (out value / icall target).
+    value: int = 0
+    #: output channel for "out" sinks (-1 otherwise).
+    channel: int = -1
+
+    def __str__(self) -> str:
+        return f"[seq {self.seq}] tainted {self.sink} at pc={self.pc}: {self.description}"
+
+
+@dataclass
+class SinkRule:
+    """What counts as a sink and what to do when taint reaches it."""
+
+    kind: str  # "icall" | "out"
+    channels: frozenset[int] | None = None  # for "out": which channels (None = all)
+    action: str = "raise"  # "raise" -> AttackDetected, "record" -> alert list
+
+    def matches(self, ev: InstrEvent) -> bool:
+        if self.kind == "icall":
+            return ev.instr.opcode is Opcode.ICALL
+        if self.kind == "out":
+            return ev.instr.opcode is Opcode.OUT and (
+                self.channels is None or ev.channel in self.channels
+            )
+        return False
+
+
+@dataclass
+class DIFTStats:
+    instructions: int = 0
+    tainted_instructions: int = 0
+    sources: int = 0
+    sink_checks: int = 0
+
+    @property
+    def taint_rate(self) -> float:
+        return self.tainted_instructions / self.instructions if self.instructions else 0.0
+
+
+class DIFTEngine(Hook):
+    """Inline DIFT: propagation runs on the application core.
+
+    Attach with :meth:`attach`; the engine charges its overhead to the
+    machine's cycle counters unless ``charge_overhead=False`` (the
+    multicore simulator disables inline charging and accounts the same
+    work on the helper core instead).
+    """
+
+    #: cycles for the per-instruction "any operand tainted?" stub.
+    check_cycles = 1
+
+    def __init__(
+        self,
+        policy: TaintPolicy,
+        source_channels: frozenset[int] | None = None,
+        sinks: list[SinkRule] | None = None,
+        propagate_addresses: bool = False,
+        charge_overhead: bool = True,
+    ):
+        self.policy = policy
+        self.shadow = ShadowState(policy)
+        self.source_channels = source_channels
+        self.sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
+        self.propagate_addresses = propagate_addresses
+        self.charge_overhead = charge_overhead
+        self.alerts: list[TaintAlert] = []
+        self.stats = DIFTStats()
+        self.machine: Machine | None = None
+
+    def attach(self, machine: Machine) -> "DIFTEngine":
+        self.machine = machine
+        machine.hooks.subscribe(self)
+        return self
+
+    # -- label helpers ------------------------------------------------------
+    def _combine(self, labels: list) -> object | None:
+        labels = [l for l in labels if l is not None]
+        if not labels:
+            return None
+        if len(labels) == 1:
+            return labels[0]
+        return self.policy.combine(labels)
+
+    def _reg_labels(self, tid: int, reg_reads) -> list:
+        reg = self.shadow.regs.get
+        return [reg((tid, r)) for r, _ in reg_reads]
+
+    # -- the hook -----------------------------------------------------------
+    def on_instruction(self, ev: InstrEvent) -> None:
+        op = ev.instr.opcode
+        tid = ev.tid
+        shadow = self.shadow
+        stats = self.stats
+        stats.instructions += 1
+        overhead = self.check_cycles
+        tainted = False
+
+        if op is Opcode.IN:
+            if self.source_channels is None or ev.channel in self.source_channels:
+                label = self.policy.taint_for_input(ev)
+                stats.sources += 1
+                tainted = label is not None
+            else:
+                label = None
+            shadow.set_reg(tid, ev.reg_writes[0][0], label)
+        elif op is Opcode.LI:
+            shadow.set_reg(tid, ev.reg_writes[0][0], None)
+        elif op is Opcode.LOAD or op is Opcode.POP:
+            addr = ev.mem_reads[0][0]
+            labels = [shadow.mem.get(addr)]
+            if self.propagate_addresses:
+                labels += self._reg_labels(tid, ev.reg_reads)
+            label = self._combine(labels)
+            if label is not None:
+                label = self.policy.through(ev, label)
+                tainted = True
+            # dst is the first (non-SP) written register
+            shadow.set_reg(tid, ev.reg_writes[0][0], label)
+        elif op is Opcode.STORE or op is Opcode.PUSH:
+            addr = ev.mem_writes[0][0]
+            labels = [shadow.regs.get((tid, ev.reg_reads[0][0]))]
+            if self.propagate_addresses and len(ev.reg_reads) > 1:
+                labels += [shadow.regs.get((tid, r)) for r, _ in ev.reg_reads[1:]]
+            label = self._combine(labels)
+            if label is not None:
+                label = self.policy.through(ev, label)
+                tainted = True
+            shadow.set_cell(addr, label)
+        elif op is Opcode.ALLOC:
+            # Fresh memory is untainted even when a freed block is reused.
+            base, size = ev.alloc
+            shadow.clear_range(base, size)
+            shadow.set_reg(tid, ev.reg_writes[0][0], None)
+        elif op is Opcode.SPAWN:
+            arg_label = shadow.regs.get((tid, ev.reg_reads[0][0]))
+            child = ev.reg_writes[0][1]
+            shadow.set_reg(child, 0, arg_label)
+            shadow.set_reg(tid, ev.reg_writes[0][0], None)  # tid value is clean
+            tainted = arg_label is not None
+        elif ev.reg_writes:
+            # Generic ALU/compare/move propagation.
+            label = self._combine(self._reg_labels(tid, ev.reg_reads))
+            if label is not None:
+                label = self.policy.through(ev, label)
+                tainted = True
+            shadow.set_reg(tid, ev.reg_writes[0][0], label)
+        elif op is Opcode.ICALL or op is Opcode.OUT:
+            label = shadow.regs.get((tid, ev.reg_reads[0][0]))
+            tainted = label is not None
+            if label is not None:
+                self._check_sinks(ev, label)
+
+        if tainted:
+            stats.tainted_instructions += 1
+            overhead += self.policy.propagate_cycles
+        if self.charge_overhead and self.machine is not None:
+            self.machine.add_overhead(overhead)
+
+    def _check_sinks(self, ev: InstrEvent, label: object) -> None:
+        for rule in self.sinks:
+            if not rule.matches(ev):
+                continue
+            self.stats.sink_checks += 1
+            description = self.policy.describe(label)
+            alert = TaintAlert(
+                seq=ev.seq,
+                tid=ev.tid,
+                pc=ev.pc,
+                sink=rule.kind,
+                label=label,
+                description=description,
+                value=ev.io_value if ev.io_value is not None else ev.reg_reads[0][1],
+                channel=ev.channel if ev.channel is not None else -1,
+            )
+            self.alerts.append(alert)
+            if rule.action == "raise":
+                culprit = label if isinstance(self.policy, PCTaintPolicy) else -1
+                raise AttackDetected(str(alert), culprit_pc=culprit)
+
+    # -- reporting -----------------------------------------------------------
+    def memory_overhead(self, machine: Machine, guest_word_bytes: int = 4) -> float:
+        """Shadow bytes / guest data bytes (the paper's "memory overhead")."""
+        guest = max(1, machine.memory.footprint * guest_word_bytes)
+        return self.shadow.shadow_bytes / guest

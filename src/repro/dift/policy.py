@@ -1,0 +1,113 @@
+"""Taint policies — the pluggable heart of the DIFT framework.
+
+The paper presents one DIFT framework instantiated three ways:
+
+* a **boolean** taint for attack detection (§3.3, "a zero indicates
+  untainted data"),
+* a **PC value** taint where each tainted location remembers the most
+  recent instruction that wrote it (§3.3, used for root-cause location),
+* a **lineage set** taint where each value carries the set of inputs it
+  depends on (§3.4, represented with roBDDs).
+
+A :class:`TaintPolicy` defines what a taint label is, how labels join
+when an instruction reads several tainted sources, and how a label
+transforms as it flows through an instruction.  ``None`` is the
+universal "untainted" label; the engine never stores ``None`` in shadow
+state, so shadow size == number of tainted locations, which is what the
+memory-overhead experiments measure.
+
+The lineage policy lives in :mod:`repro.apps.lineage` with its roBDD
+machinery; this module holds the two label-sized policies.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Opcode
+from ..vm.events import InstrEvent
+
+#: data-movement opcodes: they copy a value without computing a new one,
+#: so the PC policy preserves the producer's label through them.
+COPY_OPS = frozenset({Opcode.MOV, Opcode.LOAD, Opcode.STORE, Opcode.PUSH, Opcode.POP})
+
+
+class TaintPolicy:
+    """Interface for taint label algebra.
+
+    Labels must be immutable (they are shared freely between shadow
+    slots).  ``None`` always means untainted and is handled by the
+    engine; ``combine`` and ``through`` only ever see non-None labels.
+    """
+
+    #: bytes one shadow label occupies in the modeled implementation
+    #: (bool taint: 1 byte/word; PC taint: 4 bytes/word; lineage: varies).
+    label_bytes: int = 1
+
+    #: extra cycles the policy's propagation stub costs per instruction
+    #: with at least one tainted input (on top of the engine's base cost).
+    propagate_cycles: int = 2
+
+    def taint_for_input(self, ev: InstrEvent) -> object | None:
+        """Label for a value read by ``in`` (``ev.instr`` is the IN)."""
+        raise NotImplementedError
+
+    def combine(self, labels: list) -> object:
+        """Join two or more non-None labels."""
+        raise NotImplementedError
+
+    def through(self, ev: InstrEvent, label: object) -> object:
+        """Transform ``label`` as it flows through instruction ``ev``."""
+        return label
+
+    def describe(self, label: object) -> str:
+        return repr(label)
+
+
+class BoolTaintPolicy(TaintPolicy):
+    """Classic 1-bit taint: tainted or not (§3.3 baseline)."""
+
+    label_bytes = 1
+    propagate_cycles = 2
+    TAINTED = True
+
+    def taint_for_input(self, ev: InstrEvent) -> object:
+        return self.TAINTED
+
+    def combine(self, labels: list) -> object:
+        return self.TAINTED
+
+    def describe(self, label: object) -> str:
+        return "tainted"
+
+
+class PCTaintPolicy(TaintPolicy):
+    """Propagate the PC of the most recent writer instead of a boolean.
+
+    "At any instant, the PC value corresponding to a tainted location is
+    the PC of the most recent instruction that wrote to the location."
+    When an attack trips a sink, the sink's label directly names the
+    statement that produced the offending value — the paper's root-cause
+    hint.  Costs more shadow space (a PC per word instead of a bit),
+    which the multicore helper absorbs in §3.3's design.
+    """
+
+    label_bytes = 4
+    propagate_cycles = 3
+
+    def taint_for_input(self, ev: InstrEvent) -> object:
+        return ev.pc
+
+    def combine(self, labels: list) -> object:
+        # Multiple tainted inputs: keep the label of the *latest* writer;
+        # `through` immediately replaces it with the current PC anyway.
+        return max(labels)
+
+    def through(self, ev: InstrEvent, label: object) -> object:
+        # Copies (load/store/mov/...) carry the producer's PC along so
+        # the label at a sink names the statement that *created* the
+        # offending value, not the final move that delivered it.
+        if ev.instr.opcode in COPY_OPS:
+            return label
+        return ev.pc
+
+    def describe(self, label: object) -> str:
+        return f"last-writer pc={label}"

@@ -1,0 +1,65 @@
+"""Shadow state: taint labels for registers and memory.
+
+Mirrors the guest's storage one-for-one: a label per (thread, register)
+and per memory cell.  Untainted locations are simply absent, so
+:attr:`tainted_cells` / :attr:`shadow_bytes` directly measure the
+footprint the paper reports as "taint memory overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .policy import TaintPolicy
+
+
+@dataclass
+class ShadowState:
+    policy: TaintPolicy
+    #: (tid, reg) -> label, only for tainted registers.
+    regs: dict[tuple[int, int], object] = field(default_factory=dict)
+    #: address -> label, only for tainted cells.
+    mem: dict[int, object] = field(default_factory=dict)
+
+    # -- registers -------------------------------------------------------
+    def reg(self, tid: int, reg: int) -> object | None:
+        return self.regs.get((tid, reg))
+
+    def set_reg(self, tid: int, reg: int, label: object | None) -> None:
+        key = (tid, reg)
+        if label is None:
+            self.regs.pop(key, None)
+        else:
+            self.regs[key] = label
+
+    # -- memory ------------------------------------------------------------
+    def cell(self, addr: int) -> object | None:
+        return self.mem.get(addr)
+
+    def set_cell(self, addr: int, label: object | None) -> None:
+        if label is None:
+            self.mem.pop(addr, None)
+        else:
+            self.mem[addr] = label
+
+    def clear_range(self, base: int, size: int) -> None:
+        """Untaint ``[base, base+size)`` (used when blocks are freed)."""
+        for addr in range(base, base + size):
+            self.mem.pop(addr, None)
+
+    # -- measurement ------------------------------------------------------------
+    @property
+    def tainted_cells(self) -> int:
+        return len(self.mem)
+
+    @property
+    def tainted_regs(self) -> int:
+        return len(self.regs)
+
+    @property
+    def shadow_bytes(self) -> int:
+        """Modeled shadow-memory size in bytes."""
+        return (len(self.mem) + len(self.regs)) * self.policy.label_bytes
+
+    def snapshot(self) -> "ShadowState":
+        return ShadowState(policy=self.policy, regs=dict(self.regs), mem=dict(self.mem))

@@ -1,0 +1,5 @@
+"""Experiment harness: one runner per paper claim (see DESIGN.md §4)."""
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_all"]

@@ -1,0 +1,596 @@
+"""Experiment runners: one function per paper claim (E1..E12).
+
+Each ``run_eN`` executes the experiment at a configurable scale and
+returns an :class:`ExperimentResult` with the table the paper's claim
+corresponds to, plus a ``headline`` dict of the scalar numbers
+EXPERIMENTS.md quotes against the paper.  The pytest-benchmark files in
+``benchmarks/`` call these same functions, so the printed tables and
+the recorded numbers can never drift apart.
+
+See DESIGN.md §4 for the claim -> experiment mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.faultavoid import FaultAvoidanceFramework, PatchFile
+from ..apps.faultloc import SliceBasedFaultLocator, ValueReplacementRanker
+from ..apps.lineage import LineageTracer, verify_against_reference
+from ..apps.security import AttackMonitor, attack_corpus
+from ..dift.engine import DIFTEngine
+from ..dift.policy import BoolTaintPolicy
+from ..multicore import HelperCoreDIFT, hardware_interconnect, shared_memory_channel
+from ..ontrac import OfflineTracer, OnlineTracer, OntracConfig
+from ..races import RaceDetector, SyncAwareRaceDetector, SyncHistory, SyncRecognizer
+from ..reduction import CheckpointingLogger, ExecutionReducer
+from ..runner import ProgramRunner
+from ..slicing import backward_slice, find_implicit_dependences, relevant_slice
+from ..tm import Resolution, TMConfig, TransactionalMonitor
+from ..util.tables import format_table
+from ..workloads import (
+    build_server,
+    by_category,
+    lineage_suite,
+    race_kernels,
+    suite,
+    tm_kernels,
+)
+from ..isa.instructions import Opcode
+
+
+@dataclass
+class ExperimentResult:
+    experiment: str
+    claim: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    headline: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows, title=f"{self.experiment}: {self.claim}")
+
+
+# ---------------------------------------------------------------------------
+# E1 — ONTRAC slowdown: online ~19x vs offline post-processing ~540x
+# ---------------------------------------------------------------------------
+def run_e1(scale: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E1",
+        claim="online tracing ~19x avg vs ~540x offline post-processing (§2.1)",
+        headers=["workload", "native cyc/instr", "online x", "offline x"],
+    )
+    online_xs, offline_xs = [], []
+    for w in suite(scale):
+        runner = w.runner()
+        _, base = runner.run()
+        base_cycles = base.cycles.base
+
+        _, tracer, online = runner.run_traced(OntracConfig(hot_trace_threshold=20))
+        online_x = online.cycles.total / base_cycles
+
+        m = runner.machine()
+        off = OfflineTracer(runner.program).attach(m)
+        off_res = m.run()
+        off.postprocess()
+        offline_x = (off_res.cycles.base + off.stats.total_overhead_cycles) / base_cycles
+
+        online_xs.append(online_x)
+        offline_xs.append(offline_x)
+        result.rows.append(
+            [w.name, base_cycles / max(1, base.instructions), online_x, offline_x]
+        )
+    result.rows.append(
+        ["average", "", sum(online_xs) / len(online_xs), sum(offline_xs) / len(offline_xs)]
+    )
+    result.headline = {
+        "online_slowdown_avg": sum(online_xs) / len(online_xs),
+        "offline_slowdown_avg": sum(offline_xs) / len(offline_xs),
+        "paper_online": 19.0,
+        "paper_offline": 540.0,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E2 — bytes/instruction: 16 unoptimized -> 0.8 optimized, with ablation
+# ---------------------------------------------------------------------------
+def run_e2(scale: int = 1) -> ExperimentResult:
+    configs = [
+        ("naive", OntracConfig.unoptimized()),
+        ("+intra-block", OntracConfig(infer_traces=False, elide_redundant_loads=False)),
+        ("+traces", OntracConfig(elide_redundant_loads=False, hot_trace_threshold=20)),
+        ("+redundant-loads", OntracConfig(hot_trace_threshold=20)),
+        ("+input-filter", OntracConfig(hot_trace_threshold=20, input_forward_slice=True)),
+    ]
+    result = ExperimentResult(
+        experiment="E2",
+        claim="trace rate 16 B/instr naive -> 0.8 B/instr optimized (§2.1)",
+        headers=["configuration"] + [w.name for w in suite(scale)] + ["average"],
+    )
+    averages = {}
+    for label, config in configs:
+        rates = []
+        for w in suite(scale):
+            _, tracer, _ = w.runner().run_traced(config)
+            rates.append(tracer.stats.bytes_per_instruction)
+        averages[label] = sum(rates) / len(rates)
+        result.rows.append([label] + rates + [averages[label]])
+    result.headline = {
+        "naive_bytes_per_instr": averages["naive"],
+        "optimized_bytes_per_instr": averages["+input-filter"],
+        "paper_naive": 16.0,
+        "paper_optimized": 0.8,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E3 — history window vs buffer size (paper: 20M instructions in 16MB)
+# ---------------------------------------------------------------------------
+def run_e3(buffer_sizes: tuple[int, ...] = (4096, 16384, 65536), scale: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E3",
+        claim="a 16MB buffer holds ~20M instructions of history (§2.1)",
+        headers=["buffer bytes", "window (instr)", "instr per KB", "extrapolated @16MB"],
+    )
+    # A long-running loop so every buffer size overflows and the window
+    # is buffer-limited (as in the paper's long executions).
+    from ..workloads.spec_like import hashloop
+
+    w = hashloop(3000 * scale)
+    per_kb = 0.0
+    for cap in buffer_sizes:
+        _, tracer, _ = w.runner().run_traced(
+            OntracConfig(buffer_bytes=cap, hot_trace_threshold=20, input_forward_slice=True)
+        )
+        window = tracer.buffer.window_instructions()
+        per_kb = window / (cap / 1024)
+        result.rows.append([cap, window, per_kb, per_kb * 16 * 1024])
+    result.headline = {
+        "instr_per_kb": per_kb,
+        "extrapolated_window_at_16mb": per_kb * 16 * 1024,
+        "paper_window_at_16mb": 20_000_000.0,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E4 — multicore DIFT overhead ~48% (hw interconnect) vs software channel
+# ---------------------------------------------------------------------------
+def run_e4(scale: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E4",
+        claim="helper-core DIFT overhead ~48% for SPEC int (§2.1)",
+        headers=["workload", "inline %", "hw channel %", "sw channel %", "hw stalls"],
+    )
+    hw_overheads, sw_overheads, inline_overheads = [], [], []
+    for w in suite(scale):
+        runner = w.runner()
+        m_inline = runner.machine()
+        DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(m_inline)
+        inline = m_inline.run()
+        inline_pct = (inline.cycles.slowdown - 1.0) * 100
+
+        reports = {}
+        for name, channel in (("hw", hardware_interconnect()), ("sw", shared_memory_channel())):
+            m = runner.machine()
+            helper = HelperCoreDIFT(BoolTaintPolicy(), channel=channel).attach(m)
+            m.run()
+            reports[name] = helper.report()
+        hw_pct = reports["hw"].overhead * 100
+        sw_pct = reports["sw"].overhead * 100
+        inline_overheads.append(inline_pct)
+        hw_overheads.append(hw_pct)
+        sw_overheads.append(sw_pct)
+        result.rows.append([w.name, inline_pct, hw_pct, sw_pct, reports["hw"].stall_cycles])
+    result.rows.append(
+        [
+            "average",
+            sum(inline_overheads) / len(inline_overheads),
+            sum(hw_overheads) / len(hw_overheads),
+            sum(sw_overheads) / len(sw_overheads),
+            "",
+        ]
+    )
+    result.headline = {
+        "hw_overhead_pct": sum(hw_overheads) / len(hw_overheads),
+        "sw_overhead_pct": sum(sw_overheads) / len(sw_overheads),
+        "inline_overhead_pct": sum(inline_overheads) / len(inline_overheads),
+        "paper_overhead_pct": 48.0,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E5 — execution reduction (the MySQL case study's shape)
+# ---------------------------------------------------------------------------
+def run_e5(workers: int = 3, requests: int = 150, checkpoint_interval: int = 8000) -> ExperimentResult:
+    scenario = build_server(workers=workers, requests=requests, busywork=10)
+    runner = scenario.runner()
+
+    _, base = runner.run()
+    base_cycles = base.cycles.base
+
+    m_log = runner.machine()
+    logger = CheckpointingLogger(checkpoint_interval=checkpoint_interval).attach(m_log)
+    log_res = m_log.run()
+    log = logger.finalize()
+    logging_x = log_res.cycles.slowdown
+
+    m_trace = runner.machine()
+    full_tracer = OnlineTracer(
+        runner.program, OntracConfig.unoptimized(buffer_bytes=1 << 26)
+    ).attach(m_trace)
+    trace_res = m_trace.run()
+    tracing_x = trace_res.cycles.slowdown
+    full_deps = full_tracer.dependence_graph().edge_count
+
+    reducer = ExecutionReducer(runner.program, log)
+    outcome = reducer.reduce_and_trace(OntracConfig.unoptimized(buffer_bytes=1 << 26))
+    replay_cycles = outcome.replay.result.cycles.total - (
+        outcome.replay.result.cycles.base - outcome.replay.machine.cycles.base
+    )
+    reduced_deps = outcome.traced_dependences
+
+    result = ExperimentResult(
+        experiment="E5",
+        claim="MySQL case study: 14.8s/16.8s/3736s/0.67s; 976M -> 3175 deps (§2.2)",
+        headers=["quantity", "this repro", "paper"],
+        rows=[
+            ["original (cycles / s)", base_cycles, "14.8 s"],
+            ["with logging (x)", logging_x, "1.14x (16.8 s)"],
+            ["fully traced (x)", tracing_x, "252x (3736 s)"],
+            ["reduced traced replay (fraction)", outcome.replayed_fraction, "4.5% (0.67 s)"],
+            ["dependences full", full_deps, "976,000,000"],
+            ["dependences reduced", reduced_deps, "3,175"],
+            ["dep reduction factor", full_deps / max(1, reduced_deps), "307,000x"],
+            ["relevant threads", len(outcome.plan.include_tids), "-"],
+            ["failure reproduced", int(outcome.replay.reproduced_failure), "yes"],
+        ],
+    )
+    result.headline = {
+        "logging_slowdown": logging_x,
+        "tracing_slowdown": tracing_x,
+        "replayed_fraction": outcome.replayed_fraction,
+        "dep_reduction": full_deps / max(1, reduced_deps),
+        "reproduced": float(outcome.replay.reproduced_failure),
+    }
+    result.notes = (
+        f"thread reduction kept {sorted(outcome.plan.include_tids)} of "
+        f"{workers + 1} threads; fallback={outcome.fell_back_to_all_threads}"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E6 — TM monitoring: naive livelocks, sync-aware doesn't (§2.2)
+# ---------------------------------------------------------------------------
+def run_e6() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E6",
+        claim="sync-aware conflict resolution avoids livelock, cuts overhead (§2.2)",
+        headers=["kernel", "policy", "completed", "livelock", "aborts", "overhead x"],
+    )
+    livelocks = {"naive": 0, "sync_aware": 0}
+    overheads = {"naive": [], "sync_aware": []}
+    for kernel in tm_kernels():
+        for policy in (Resolution.NAIVE, Resolution.SYNC_AWARE):
+            res = TransactionalMonitor(kernel, TMConfig(resolution=policy)).run()
+            livelocks[policy.value] += int(res.livelock)
+            if res.completed:
+                overheads[policy.value].append(res.overhead)
+            result.rows.append(
+                [
+                    kernel.name,
+                    policy.value,
+                    int(res.completed),
+                    int(res.livelock),
+                    res.aborts,
+                    res.overhead,
+                ]
+            )
+    result.headline = {
+        "naive_livelocks": float(livelocks["naive"]),
+        "sync_aware_livelocks": float(livelocks["sync_aware"]),
+        "sync_aware_overhead_avg": (
+            sum(overheads["sync_aware"]) / max(1, len(overheads["sync_aware"]))
+        ),
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E7 — execution omission: relevant slices vs predicate switching (§3.1)
+# ---------------------------------------------------------------------------
+def run_e7() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E7",
+        claim="predicate switching exposes omission errors with few verifications (§3.1)",
+        headers=[
+            "bug", "plain slice has bug", "relevant size", "implicit size",
+            "verifications", "implicit has bug",
+        ],
+    )
+    found, total_verifications = 0, 0
+    for bug in by_category("omission"):
+        runner = bug.runner()
+        machine, tracer, _ = runner.run_traced(OntracConfig(buffer_bytes=1 << 22))
+        ddg = tracer.dependence_graph()
+        out_pc = max(
+            pc
+            for pc in range(len(bug.compiled.program.code))
+            if bug.compiled.program.code[pc].opcode is Opcode.OUT
+        )
+        criterion = ddg.last_instance_of_pc(out_pc)
+        plain = backward_slice(ddg, criterion)
+        plain_has = bool(plain.statement_lines(bug.compiled) & bug.bug_lines)
+        rel = relevant_slice(ddg, runner.program, criterion)
+        search = find_implicit_dependences(runner, ddg, out_pc)
+        implicit_lines = {
+            bug.compiled.line_of(pc) for pc in search.candidate_pcs if bug.compiled.line_of(pc)
+        }
+        has_bug = bool(implicit_lines & bug.bug_lines)
+        found += int(has_bug)
+        total_verifications += search.verifications
+        result.rows.append(
+            [
+                bug.name,
+                int(plain_has),
+                len(rel),
+                len(search.candidate_seqs),
+                search.verifications,
+                int(has_bug),
+            ]
+        )
+    n = len(by_category("omission"))
+    result.headline = {
+        "omission_bugs_located": float(found),
+        "omission_bugs_total": float(n),
+        "avg_verifications": total_verifications / n,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E8 — value-replacement ranking (§3.1)
+# ---------------------------------------------------------------------------
+def run_e8(max_replacements: int = 300) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E8",
+        claim="value replacement ranks faulty statements near the top (§3.1)",
+        headers=["bug", "category", "ivmps", "tried", "bug line rank", "slice has bug"],
+    )
+    ranked_top2 = 0
+    bugs = by_category("value") + by_category("omission")
+    for bug in bugs:
+        ranker = ValueReplacementRanker(
+            bug.runner(),
+            bug.compiled,
+            bug.expected_output(),
+            passing_runner=bug.runner(failing=False),
+            max_replacements=max_replacements,
+        )
+        report = ranker.rank()
+        rank = min((report.rank_of_line(line) or 99) for line in bug.bug_lines)
+        try:
+            locator = SliceBasedFaultLocator(bug.runner(), bug.compiled, bug.expected_output())
+            slice_has = locator.locate().contains_bug(bug.bug_lines)
+        except ValueError:
+            slice_has = False
+        ranked_top2 += int(rank <= 2)
+        result.rows.append(
+            [bug.name, bug.category, len(report.ivmps), report.replacements_tried,
+             rank if rank < 99 else "-", int(slice_has)]
+        )
+    result.headline = {
+        "bugs_ranked_top2": float(ranked_top2),
+        "bugs_total": float(len(bugs)),
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E9 — sync-aware race detection filters benign races (§3.1)
+# ---------------------------------------------------------------------------
+def run_e9() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E9",
+        claim="sync-aware filtering removes benign synchronization races (§3.1)",
+        headers=["kernel", "candidates", "baseline reported", "sync-aware reported",
+                 "filtered", "true races found"],
+    )
+    total_filtered = 0
+    for kernel in race_kernels():
+        runner = kernel.runner()
+        machine = runner.machine()
+        tracer = OnlineTracer(
+            runner.program, OntracConfig(buffer_bytes=1 << 23, record_war_waw=True)
+        ).attach(machine)
+        logger = CheckpointingLogger(checkpoint_interval=1 << 30).attach(machine)
+        recognizer = SyncRecognizer()
+        machine.hooks.subscribe(recognizer)
+        machine.run(max_instructions=runner.max_instructions)
+        log = logger.finalize()
+
+        ddg = tracer.dependence_graph()
+        history = SyncHistory.from_event_log(log)
+        detector = RaceDetector(ddg, history)
+        baseline = detector.races()
+        aware = SyncAwareRaceDetector(detector, recognizer.flag_syncs).detect()
+
+        reported_lines = {
+            kernel.compiled.line_of(pc)
+            for r in aware.reported
+            for pc in (r.dependence.consumer_pc, r.dependence.producer_pc)
+            if kernel.compiled.line_of(pc)
+        }
+        true_found = bool(reported_lines & kernel.racy_lines) if kernel.racy_lines else (
+            not aware.reported
+        )
+        filtered = len(baseline) - len(aware.reported)
+        total_filtered += max(0, filtered)
+        result.rows.append(
+            [
+                kernel.name,
+                aware.baseline_count,
+                len(baseline),
+                len(aware.reported),
+                filtered,
+                int(true_found),
+            ]
+        )
+    result.headline = {"benign_races_filtered": float(total_filtered)}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E10 — fault avoidance for the three environment-fault classes (§3.2)
+# ---------------------------------------------------------------------------
+def run_e10() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E10",
+        claim="atomicity / heap-overflow / malformed-request faults avoided (§3.2)",
+        headers=["bug", "class", "avoided", "strategy", "attempts", "future run clean"],
+    )
+    avoided = 0
+    patch_file = PatchFile()
+    framework = FaultAvoidanceFramework(patch_file)
+    bugs = by_category("atomicity") + by_category("overflow") + by_category("malformed")
+    for bug in bugs:
+        runner = bug.runner()
+        outcome = framework.avoid(runner)
+        clean = False
+        if outcome.avoided:
+            _, protected, _ = patch_file.protected_run(
+                runner, outcome.failure_kind, outcome.failure_pc
+            )
+            clean = not protected.failed
+        avoided += int(outcome.avoided and clean)
+        result.rows.append(
+            [
+                bug.name,
+                bug.category,
+                int(outcome.avoided),
+                outcome.patch.strategy if outcome.patch else "-",
+                len(outcome.attempts),
+                int(clean),
+            ]
+        )
+    result.headline = {"faults_avoided": float(avoided), "faults_total": float(len(bugs))}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E11 — attack detection + PC-taint root cause (§3.3)
+# ---------------------------------------------------------------------------
+def run_e11() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E11",
+        claim="attacks detected; PC taint names the root-cause statement (§3.3)",
+        headers=["scenario", "benign clean", "detected", "stopped", "culprit line",
+                 "root cause named"],
+    )
+    detected_count, named_count = 0, 0
+    for scenario in attack_corpus():
+        benign = AttackMonitor.for_scenario(scenario).monitor(
+            scenario.runner(attack=False), scenario.compiled, scenario.name
+        )
+        attack = AttackMonitor.for_scenario(scenario).monitor(
+            scenario.runner(attack=True), scenario.compiled, scenario.name
+        )
+        named = attack.culprit_line in scenario.root_cause_lines
+        detected_count += int(attack.detected)
+        named_count += int(named)
+        result.rows.append(
+            [
+                scenario.name,
+                int(not benign.detected),
+                int(attack.detected),
+                int(attack.stopped_by_dift),
+                attack.culprit_line,
+                int(named),
+            ]
+        )
+    n = len(attack_corpus())
+    result.headline = {
+        "attacks_detected": float(detected_count),
+        "root_causes_named": float(named_count),
+        "scenarios": float(n),
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# E12 — lineage: slowdown <40x, memory ~300%, roBDD vs naive (§3.4)
+# ---------------------------------------------------------------------------
+def run_e12(scale: int = 1) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="E12",
+        claim="lineage tracing <40x slowdown, ~300% memory; roBDD beats naive sets (§3.4)",
+        headers=["workload", "repr", "exact lineage", "slowdown x", "mem overhead x",
+                 "set bytes", "union cycles"],
+    )
+    from ..workloads.scientific import cumulative_sum
+
+    workloads = lineage_suite()
+    if scale > 1:
+        workloads.append(cumulative_sum(n=200 * scale))
+    slowdowns = []
+    mem_ratio_on_overlapping = 1.0
+    for w in workloads:
+        per_repr = {}
+        for representation in ("naive", "robdd"):
+            tracer = LineageTracer(representation=representation)
+            trace = tracer.trace(w.runner())
+            matches, _ = verify_against_reference(trace, w.expected_lineage)
+            # charge modeled union cycles into the slowdown figure
+            slow = (
+                trace.result.cycles.total + trace.union_cycles
+            ) / trace.result.cycles.base
+            per_repr[representation] = trace
+            if representation == "robdd":
+                slowdowns.append(slow)
+            result.rows.append(
+                [
+                    w.name,
+                    representation,
+                    f"{matches}/{w.n_outputs}",
+                    slow,
+                    trace.memory_overhead,
+                    trace.shadow_set_bytes,
+                    trace.union_cycles,
+                ]
+            )
+        if w.name == "cumulative-sum":
+            mem_ratio_on_overlapping = per_repr["naive"].shadow_set_bytes / max(
+                1, per_repr["robdd"].shadow_set_bytes
+            )
+    result.headline = {
+        "robdd_slowdown_max": max(slowdowns),
+        "paper_slowdown_bound": 40.0,
+        "naive_over_robdd_memory_on_overlapping_sets": mem_ratio_on_overlapping,
+    }
+    return result
+
+
+ALL_EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+}
+
+
+def run_all(names: list[str] | None = None) -> list[ExperimentResult]:
+    selected = names or sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:]))
+    return [ALL_EXPERIMENTS[name]() for name in selected]

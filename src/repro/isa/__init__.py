@@ -1,0 +1,60 @@
+"""Mini-ISA substrate: instructions, programs, assembler, CFG, dominance.
+
+See :mod:`repro.isa.instructions` for the instruction set and DESIGN.md
+for why a from-scratch ISA stands in for the paper's x86/DBT substrate.
+"""
+
+from .assembler import AssemblyError, assemble
+from .builder import FuncRef, FunctionBuilder, Label, ProgramBuilder
+from .cfg import CFG, EXIT_BLOCK, BasicBlock, build_cfgs
+from .dominance import Dominance, branch_ipdom_table
+from .instructions import (
+    MNEMONICS,
+    NUM_REGS,
+    OP_TABLE,
+    PURE_ALU_OPS,
+    SINK_OPS,
+    SOURCE_OPS,
+    SP,
+    Instruction,
+    Opcode,
+    Operand,
+    OpSpec,
+    reg_name,
+)
+from .program import Function, Program, ProgramError, link
+from .static_dataflow import Dataflow, block_dataflow, path_dataflow
+
+__all__ = [
+    "AssemblyError",
+    "assemble",
+    "FuncRef",
+    "FunctionBuilder",
+    "Label",
+    "ProgramBuilder",
+    "CFG",
+    "EXIT_BLOCK",
+    "BasicBlock",
+    "build_cfgs",
+    "Dominance",
+    "branch_ipdom_table",
+    "MNEMONICS",
+    "NUM_REGS",
+    "OP_TABLE",
+    "PURE_ALU_OPS",
+    "SINK_OPS",
+    "SOURCE_OPS",
+    "SP",
+    "Instruction",
+    "Opcode",
+    "Operand",
+    "OpSpec",
+    "reg_name",
+    "Function",
+    "Program",
+    "ProgramError",
+    "link",
+    "Dataflow",
+    "block_dataflow",
+    "path_dataflow",
+]

@@ -1,0 +1,202 @@
+"""Two-pass assembler for the mini-ISA text format.
+
+Syntax::
+
+    ; comment (also '#')
+    .func main 0          ; name and parameter count
+        li   r0, 10
+        li   r1, fn:worker ; function-id immediate (for icall / spawn setup)
+    loop:
+        addi r0, r0, -1
+        br   r0, loop
+        halt
+    .end
+
+* Registers: ``r0`` .. ``r31``; ``sp`` is an alias for ``r31``.
+* Immediates: decimal (optionally negative), ``0x...`` hex, ``'c'``
+  character literals, or ``fn:<name>`` to reference a function id.
+* Labels are function-local.
+* Operand order follows :data:`repro.isa.instructions.OP_TABLE`.
+
+Function ids are assigned in declaration order, which the ``fn:`` form
+relies on; forward references are allowed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .instructions import MNEMONICS, NUM_REGS, OP_TABLE, SP, Instruction, Operand
+from .program import Program, ProgramError, link
+
+
+class AssemblyError(ProgramError):
+    """Raised with file/line context on malformed assembly."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*)\s*:\s*(.*)$")
+_FUNC_RE = re.compile(r"^\.func\s+([A-Za-z_]\w*)(?:\s+(\d+))?\s*$")
+_REG_RE = re.compile(r"^r(\d+)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    if token == "sp":
+        return SP
+    m = _REG_RE.match(token)
+    if not m:
+        raise AssemblyError(f"expected register, got {token!r}", line_no)
+    reg = int(m.group(1))
+    if not 0 <= reg < NUM_REGS:
+        raise AssemblyError(f"register out of range: {token!r}", line_no)
+    return reg
+
+
+def _parse_immediate(token: str, func_ids: dict[str, int], line_no: int) -> int:
+    if token.startswith("fn:"):
+        name = token[3:]
+        if name not in func_ids:
+            raise AssemblyError(f"unknown function in immediate: {name!r}", line_no)
+        return func_ids[name]
+    if len(token) == 3 and token[0] == token[2] == "'":
+        return ord(token[1])
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected immediate, got {token!r}", line_no) from None
+
+
+def assemble(source: str, entry: str = "main") -> Program:
+    """Assemble ``source`` into a linked, validated :class:`Program`."""
+    # Pass 1: function declaration order -> ids (enables forward fn: refs).
+    func_ids: dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), 1):
+        line = _strip_comment(raw)
+        m = _FUNC_RE.match(line)
+        if m:
+            name = m.group(1)
+            if name in func_ids:
+                raise AssemblyError(f"duplicate function {name!r}", line_no)
+            func_ids[name] = len(func_ids)
+
+    # Pass 2: assemble each function body with local label resolution.
+    functions: list[tuple[str, int, list[Instruction]]] = []
+    current: list[Instruction] | None = None
+    current_name = ""
+    current_params = 0
+    labels: dict[str, int] = {}
+    pending_labels: list[str] = []
+    fixups: list[tuple[Instruction, int, str, int]] = []  # instr, operand pos, label, line
+
+    def finish_function(line_no: int) -> None:
+        nonlocal current
+        assert current is not None
+        for instr, pos, label, at_line in fixups:
+            if label not in labels:
+                raise AssemblyError(f"undefined label {label!r} in {current_name}", at_line)
+            ops = list(instr.operands)
+            ops[pos] = labels[label]
+            instr.operands = tuple(ops)
+        if pending_labels:
+            raise AssemblyError(
+                f"label(s) {pending_labels} at end of function {current_name}", line_no
+            )
+        functions.append((current_name, current_params, current))
+        current = None
+
+    for line_no, raw in enumerate(source.splitlines(), 1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        m = _FUNC_RE.match(line)
+        if m:
+            if current is not None:
+                raise AssemblyError("nested .func", line_no)
+            current = []
+            current_name = m.group(1)
+            current_params = int(m.group(2) or 0)
+            labels = {}
+            pending_labels = []
+            fixups = []
+            continue
+        if line == ".end":
+            if current is None:
+                raise AssemblyError(".end outside function", line_no)
+            finish_function(line_no)
+            continue
+        if current is None:
+            raise AssemblyError(f"code outside .func: {line!r}", line_no)
+
+        m = _LABEL_RE.match(line)
+        while m:
+            label = m.group(1)
+            if label in labels or label in pending_labels:
+                raise AssemblyError(f"duplicate label {label!r}", line_no)
+            pending_labels.append(label)
+            line = m.group(2).strip()
+            m = _LABEL_RE.match(line) if line else None
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in MNEMONICS:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no)
+        opcode = MNEMONICS[mnemonic]
+        spec = OP_TABLE[opcode]
+        tokens = [t.strip() for t in parts[1].split(",")] if len(parts) > 1 else []
+        if len(tokens) != len(spec.operands):
+            raise AssemblyError(
+                f"{mnemonic} expects {len(spec.operands)} operand(s), got {len(tokens)}",
+                line_no,
+            )
+        operands: list[int] = []
+        label_fixups: list[tuple[int, str]] = []
+        for pos, (kind, token) in enumerate(zip(spec.operands, tokens)):
+            if kind in (Operand.REG_DST, Operand.REG_SRC):
+                operands.append(_parse_register(token, line_no))
+            elif kind is Operand.IMM:
+                operands.append(_parse_immediate(token, func_ids, line_no))
+            elif kind is Operand.FUNC:
+                if token not in func_ids:
+                    raise AssemblyError(f"unknown function {token!r}", line_no)
+                operands.append(func_ids[token])
+            elif kind is Operand.LABEL:
+                if token in labels:
+                    operands.append(labels[token])
+                else:
+                    operands.append(-1)
+                    label_fixups.append((pos, token))
+            else:  # pragma: no cover - exhaustive
+                raise AssemblyError(f"unhandled operand kind {kind}", line_no)
+
+        instr = Instruction(
+            opcode=opcode,
+            operands=tuple(operands),
+            source=f"line {line_no}",
+            labels=tuple(pending_labels),
+        )
+        for label in pending_labels:
+            labels[label] = len(current)
+        pending_labels = []
+        for pos, label in label_fixups:
+            fixups.append((instr, pos, label, line_no))
+        current.append(instr)
+
+    if current is not None:
+        raise AssemblyError(f"function {current_name!r} missing .end", len(source.splitlines()))
+    if not functions:
+        raise AssemblyError("no functions in source")
+    return link(functions, entry=entry)

@@ -1,0 +1,151 @@
+"""Programmatic IR builder.
+
+The MiniC code generator and the synthetic workload generators both
+construct programs through this builder rather than emitting assembly
+text, which keeps label management out of their way::
+
+    b = ProgramBuilder()
+    f = b.function("main")
+    loop = f.label("loop")
+    f.emit(Opcode.LI, 0, 10)
+    f.place(loop)
+    f.emit(Opcode.ADDI, 0, 0, -1)
+    f.emit(Opcode.BR, 0, loop)
+    f.emit(Opcode.HALT)
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import OP_TABLE, Instruction, Opcode, Operand
+from .program import Program, ProgramError, link
+
+
+@dataclass(frozen=True)
+class Label:
+    """A forward-referenceable code position within one function."""
+
+    name: str
+    lid: int
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """A reference to a (possibly not yet defined) function."""
+
+    name: str
+
+
+@dataclass
+class FunctionBuilder:
+    name: str
+    num_params: int
+    parent: "ProgramBuilder"
+    instructions: list[Instruction] = field(default_factory=list)
+    _labels: dict[int, int] = field(default_factory=dict)  # lid -> local index
+    _label_names: dict[int, str] = field(default_factory=dict)
+    _next_label: int = 0
+    _pending: list[str] = field(default_factory=list)
+
+    def label(self, name: str = "") -> Label:
+        """Create a fresh label (not yet placed)."""
+        lid = self._next_label
+        self._next_label += 1
+        label = Label(name or f"L{lid}", lid)
+        self._label_names[lid] = label.name
+        return label
+
+    def place(self, label: Label) -> None:
+        """Attach ``label`` to the next emitted instruction."""
+        if label.lid in self._labels:
+            raise ProgramError(f"label {label.name} placed twice in {self.name}")
+        self._labels[label.lid] = len(self.instructions)
+        self._pending.append(label.name)
+
+    def here(self) -> Label:
+        """Create and place a label at the current position."""
+        label = self.label()
+        self.place(label)
+        return label
+
+    def emit(self, opcode: Opcode, *operands, source: str = "") -> Instruction:
+        """Append an instruction; label/function operands may be
+        :class:`Label` / :class:`FuncRef` / ``str`` placeholders."""
+        spec = OP_TABLE[opcode]
+        if len(operands) != len(spec.operands):
+            raise ProgramError(
+                f"{spec.mnemonic} expects {len(spec.operands)} operands, got {len(operands)}"
+            )
+        instr = Instruction(
+            opcode=opcode,
+            operands=tuple(
+                op if isinstance(op, int) else -1 for op in operands
+            ),
+            source=source,
+            labels=tuple(self._pending),
+        )
+        self._pending = []
+        # Remember placeholders for the resolution pass.
+        for pos, (kind, op) in enumerate(zip(spec.operands, operands)):
+            if isinstance(op, Label):
+                if kind is not Operand.LABEL:
+                    raise ProgramError(f"operand {pos} of {spec.mnemonic} is not a label slot")
+                self.parent._label_fixups.append((self, instr, pos, op))
+            elif isinstance(op, (FuncRef, str)) and kind in (Operand.FUNC, Operand.IMM):
+                name = op.name if isinstance(op, FuncRef) else op
+                self.parent._func_fixups.append((instr, pos, name))
+            elif not isinstance(op, int):
+                raise ProgramError(
+                    f"bad operand {op!r} at position {pos} of {spec.mnemonic}"
+                )
+        self.instructions.append(instr)
+        return instr
+
+    def local_index(self, label: Label) -> int:
+        try:
+            return self._labels[label.lid]
+        except KeyError:
+            raise ProgramError(f"label {label.name} never placed in {self.name}") from None
+
+
+class ProgramBuilder:
+    """Builds a multi-function :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._functions: list[FunctionBuilder] = []
+        self._by_name: dict[str, FunctionBuilder] = {}
+        self._label_fixups: list[tuple[FunctionBuilder, Instruction, int, Label]] = []
+        self._func_fixups: list[tuple[Instruction, int, str]] = []
+
+    def function(self, name: str, num_params: int = 0) -> FunctionBuilder:
+        if name in self._by_name:
+            raise ProgramError(f"duplicate function {name!r}")
+        fb = FunctionBuilder(name=name, num_params=num_params, parent=self)
+        self._functions.append(fb)
+        self._by_name[name] = fb
+        return fb
+
+    def func_id(self, name: str) -> int:
+        """Dense id a function will receive (declaration order)."""
+        for fid, fb in enumerate(self._functions):
+            if fb.name == name:
+                return fid
+        raise ProgramError(f"unknown function {name!r}")
+
+    def build(self, entry: str = "main") -> Program:
+        for fb, instr, pos, label in self._label_fixups:
+            ops = list(instr.operands)
+            ops[pos] = fb.local_index(label)
+            instr.operands = tuple(ops)
+        for instr, pos, name in self._func_fixups:
+            ops = list(instr.operands)
+            ops[pos] = self.func_id(name)
+            instr.operands = tuple(ops)
+        self._label_fixups = []
+        self._func_fixups = []
+        return link(
+            [(fb.name, fb.num_params, fb.instructions) for fb in self._functions],
+            entry=entry,
+        )

@@ -1,0 +1,171 @@
+"""Dominator / post-dominator analysis and static control dependence.
+
+Post-dominance drives two pieces of the reproduction:
+
+* the **online dynamic control dependence** algorithm (Xin & Zhang,
+  ISSTA'07, cited as [11]) keeps a stack of open branch regions keyed by
+  each branch's immediate post-dominator;
+* **relevant slicing** (potential dependences) and the predicate
+  switching machinery for execution-omission errors both reason about
+  which statements a predicate statically controls.
+
+The implementation is the classic Cooper-Harvey-Kennedy iterative
+dominator algorithm run on the (reversed) CFG with a virtual exit node
+joining all RET/HALT/FAIL blocks, which also regularizes functions with
+multiple exits or infinite loops.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG, EXIT_BLOCK
+
+
+def _intersect(doms: dict[int, int], order: dict[int, int], b1: int, b2: int) -> int:
+    while b1 != b2:
+        while order[b1] < order[b2]:
+            b1 = doms[b1]
+        while order[b2] < order[b1]:
+            b2 = doms[b2]
+    return b1
+
+
+def _compute_idoms(
+    nodes: list[int], entry: int, preds: dict[int, list[int]], succs: dict[int, list[int]]
+) -> dict[int, int]:
+    """Immediate dominators via Cooper-Harvey-Kennedy on an explicit graph."""
+    # Reverse post-order from entry.
+    visited: set[int] = set()
+    postorder: list[int] = []
+    stack: list[tuple[int, int]] = [(entry, 0)]
+    while stack:
+        node, i = stack.pop()
+        if i == 0:
+            if node in visited:
+                continue
+            visited.add(node)
+        children = succs.get(node, [])
+        if i < len(children):
+            stack.append((node, i + 1))
+            child = children[i]
+            if child not in visited:
+                stack.append((child, 0))
+        else:
+            postorder.append(node)
+    rpo = list(reversed(postorder))
+    order = {b: i for i, b in enumerate(postorder)}  # higher = earlier in rpo
+
+    idom: dict[int, int] = {entry: entry}
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            if b == entry:
+                continue
+            candidates = [p for p in preds.get(b, []) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for p in candidates[1:]:
+                new_idom = _intersect(idom, order, p, new_idom)
+            if idom.get(b) != new_idom:
+                idom[b] = new_idom
+                changed = True
+    return idom
+
+
+class Dominance:
+    """Dominator and post-dominator trees of a function's CFG."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        nodes = [b.bid for b in cfg.blocks]
+        succs = {b.bid: list(b.succs) for b in cfg.blocks}
+        preds = {b.bid: list(b.preds) for b in cfg.blocks}
+        self.idom = _compute_idoms(nodes, cfg.entry_block.bid, preds, succs)
+
+        # Post-dominators: reverse the graph and add a virtual exit that
+        # all exit blocks (and, defensively, all nodes without successors)
+        # flow into.
+        exits = set(cfg.exit_blocks())
+        rsuccs: dict[int, list[int]] = {EXIT_BLOCK: []}
+        rpreds: dict[int, list[int]] = {EXIT_BLOCK: []}
+        for b in cfg.blocks:
+            rsuccs[b.bid] = list(b.preds)
+            rpreds[b.bid] = list(b.succs)
+        for e in exits:
+            rsuccs[EXIT_BLOCK].append(e)
+            rpreds[e] = rpreds.get(e, []) + [EXIT_BLOCK]
+        self.ipdom = _compute_idoms(
+            nodes + [EXIT_BLOCK], EXIT_BLOCK, preds=rpreds, succs=rsuccs
+        )
+
+    # -- queries ------------------------------------------------------
+    def immediate_postdominator(self, bid: int) -> int:
+        """ipdom of block ``bid`` (``EXIT_BLOCK`` for exit blocks)."""
+        return self.ipdom.get(bid, EXIT_BLOCK)
+
+    def postdominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` post-dominates block ``b``."""
+        if a == b:
+            return True
+        node = b
+        while node != EXIT_BLOCK:
+            node = self.ipdom.get(node, EXIT_BLOCK)
+            if node == a:
+                return True
+        return a == EXIT_BLOCK
+
+    def dominates(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        entry = self.cfg.entry_block.bid
+        node = b
+        while node != entry:
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+            if node == a:
+                return True
+        return a == entry
+
+    def control_dependence(self) -> dict[int, set[int]]:
+        """Static block-level control dependences.
+
+        Returns ``{block: {branch blocks it is control dependent on}}``
+        using the Ferrante-Ottenstein-Warren formulation: B is control
+        dependent on A iff A has a successor from which B is reachable
+        only through paths post-dominated by B, and B does not
+        post-dominate A.
+        """
+        deps: dict[int, set[int]] = {b.bid: set() for b in self.cfg.blocks}
+        for a in self.cfg.blocks:
+            if len(a.succs) < 2:
+                continue
+            for s in a.succs:
+                # Walk the post-dominator tree from s up to (exclusive)
+                # ipdom(a): every node on that path is control dep on a.
+                stop = self.ipdom.get(a.bid, EXIT_BLOCK)
+                node = s
+                while node != stop and node != EXIT_BLOCK:
+                    deps[node].add(a.bid)
+                    node = self.ipdom.get(node, EXIT_BLOCK)
+        return deps
+
+
+def branch_ipdom_table(cfg: CFG, dom: Dominance) -> dict[int, int]:
+    """For each *conditional branch instruction* (by global index), the
+    global index of the first instruction of its immediate post-dominator
+    block, or ``-1`` when the branch's region extends to function exit.
+
+    This is the table the online dynamic control-dependence algorithm
+    consults at runtime.
+    """
+    table: dict[int, int] = {}
+    for block in cfg.blocks:
+        br = cfg.branch_instruction(block.bid)
+        if br is None:
+            continue
+        ip = dom.immediate_postdominator(block.bid)
+        table[br.index] = cfg.blocks[ip].start if ip != EXIT_BLOCK else -1
+    return table

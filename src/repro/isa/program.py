@@ -1,0 +1,166 @@
+"""Program and function containers for the mini-ISA.
+
+A :class:`Program` is a flat list of instructions (global indexing, so
+the interpreter's ``pc`` is a single integer) partitioned into
+:class:`Function` ranges.  Function ids are dense integers so that
+indirect calls (``icall``) go through plain integer values — which is
+exactly what makes overwritten function pointers a usable attack
+primitive in the security workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .instructions import Instruction, Opcode
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, duplicate functions...)."""
+
+
+@dataclass
+class Function:
+    """A contiguous range ``[entry, end)`` of ``Program.code``."""
+
+    name: str
+    fid: int
+    entry: int
+    end: int
+    #: number of declared parameters (r0..r{n-1} on entry); informational.
+    num_params: int = 0
+
+    def __contains__(self, index: int) -> bool:
+        return self.entry <= index < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.entry
+
+
+@dataclass
+class Program:
+    """An executable image: flat code plus function metadata."""
+
+    code: list[Instruction] = field(default_factory=list)
+    functions: dict[str, Function] = field(default_factory=dict)
+    functions_by_id: list[Function] = field(default_factory=list)
+    #: name of the entry function (``main`` by convention).
+    entry: str = "main"
+
+    def function_of(self, index: int) -> Function:
+        """Function owning the instruction at global index ``index``."""
+        instr = self.code[index]
+        return self.functions[instr.function]
+
+    def function_by_id(self, fid: int) -> Function | None:
+        if 0 <= fid < len(self.functions_by_id):
+            return self.functions_by_id[fid]
+        return None
+
+    @property
+    def entry_function(self) -> Function:
+        try:
+            return self.functions[self.entry]
+        except KeyError:
+            raise ProgramError(f"program has no entry function {self.entry!r}") from None
+
+    def disassemble(self) -> str:
+        """Full textual disassembly (round-trips through the assembler)."""
+        from .instructions import Operand, reg_name  # local import to avoid cycle
+
+        lines: list[str] = []
+        for fn in self.functions_by_id:
+            # Name every branch/jump target in this function.
+            targets: dict[int, str] = {}
+            for idx in range(fn.entry, fn.end):
+                instr = self.code[idx]
+                for kind, value in zip(instr.spec.operands, instr.operands):
+                    if kind is Operand.LABEL and value not in targets:
+                        targets[value] = f"L{value}"
+            lines.append(f".func {fn.name} {fn.num_params}")
+            for idx in range(fn.entry, fn.end):
+                instr = self.code[idx]
+                if idx in targets:
+                    lines.append(f"{targets[idx]}:")
+                parts = []
+                for kind, value in zip(instr.spec.operands, instr.operands):
+                    if kind in (Operand.REG_DST, Operand.REG_SRC):
+                        parts.append(reg_name(value))
+                    elif kind is Operand.LABEL:
+                        parts.append(targets[value])
+                    elif kind is Operand.FUNC:
+                        parts.append(self.functions_by_id[value].name)
+                    else:
+                        parts.append(str(value))
+                lines.append(f"    {instr.spec.mnemonic} {', '.join(parts)}".rstrip())
+            lines.append(".end")
+        return "\n".join(lines) + "\n"
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises :class:`ProgramError`."""
+        if self.entry not in self.functions:
+            raise ProgramError(f"missing entry function {self.entry!r}")
+        n = len(self.code)
+        for i, instr in enumerate(self.code):
+            if instr.index != i:
+                raise ProgramError(f"instruction {i} has stale index {instr.index}")
+            spec = instr.spec
+            if len(instr.operands) != len(spec.operands):
+                raise ProgramError(f"instruction {i} ({spec.mnemonic}) has wrong arity")
+            for kind, value in zip(spec.operands, instr.operands):
+                if kind.value == "label" and not (0 <= value < n):
+                    raise ProgramError(f"instruction {i} jumps out of program: {value}")
+                if kind.value == "func" and self.function_by_id(value) is None:
+                    raise ProgramError(f"instruction {i} references unknown function {value}")
+        for fn in self.functions_by_id:
+            if fn.entry >= fn.end:
+                raise ProgramError(f"function {fn.name} is empty")
+            last = self.code[fn.end - 1]
+            if last.spec.falls_through:
+                raise ProgramError(
+                    f"function {fn.name} can fall off its end "
+                    f"(last instruction {last.format()!r})"
+                )
+
+    def stats(self) -> dict[str, int]:
+        """Static statistics used in reports."""
+        branches = sum(1 for i in self.code if i.spec.is_branch)
+        loads = sum(1 for i in self.code if i.opcode in (Opcode.LOAD, Opcode.POP))
+        stores = sum(1 for i in self.code if i.opcode in (Opcode.STORE, Opcode.PUSH))
+        return {
+            "instructions": len(self.code),
+            "functions": len(self.functions_by_id),
+            "branches": branches,
+            "loads": loads,
+            "stores": stores,
+        }
+
+
+def link(functions: list[tuple[str, int, list[Instruction]]], entry: str = "main") -> Program:
+    """Assemble per-function instruction lists into a :class:`Program`.
+
+    ``functions`` holds ``(name, num_params, instructions)`` triples whose
+    label operands are *function-relative*; linking rebases them to global
+    indices and assigns dense function ids in declaration order.
+    """
+    program = Program(entry=entry)
+    base = 0
+    for fid, (name, num_params, instrs) in enumerate(functions):
+        if name in program.functions:
+            raise ProgramError(f"duplicate function {name!r}")
+        fn = Function(name=name, fid=fid, entry=base, end=base + len(instrs), num_params=num_params)
+        program.functions[name] = fn
+        program.functions_by_id.append(fn)
+        for offset, instr in enumerate(instrs):
+            rebased = tuple(
+                value + base if kind.value == "label" else value
+                for kind, value in zip(instr.spec.operands, instr.operands)
+            )
+            instr.operands = rebased
+            instr.index = base + offset
+            instr.function = name
+            program.code.append(instr)
+        base += len(instrs)
+    program.validate()
+    return program

@@ -1,0 +1,115 @@
+"""Static def-use inference inside basic blocks and along traces.
+
+ONTRAC's generic optimizations 1 and 2 rest on the observation that a
+register-to-register dependence whose definition and use sit in the same
+basic block (or the same frequently-executed multi-block *trace*) can be
+recovered by statically examining the binary, so the tracer need not
+spend buffer bytes on it.  This module computes exactly that
+information:
+
+* :func:`block_dataflow` — for one basic block, which register uses are
+  satisfied by in-block definitions (static) and which come from live-in
+  state (dynamic);
+* :func:`path_dataflow` — the same along an arbitrary block sequence,
+  used for trace/super-block inference.
+
+Calls conservatively kill all register definitions (the callee may write
+any register in this ISA's convention), and memory dependences are never
+considered static (addresses are unknown until runtime).  PUSH/POP
+implicitly read and write ``sp``, which the analysis models so that
+chains through the stack pointer stay static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .instructions import SP, Instruction, Opcode
+
+
+def _effective_uses(instr: Instruction) -> tuple[int, ...]:
+    uses = instr.uses
+    if instr.opcode in (Opcode.PUSH, Opcode.POP):
+        uses = uses + (SP,)
+    return uses
+
+
+def _effective_defs(instr: Instruction) -> tuple[int, ...]:
+    defs = instr.defs
+    if instr.opcode in (Opcode.PUSH, Opcode.POP):
+        defs = defs + (SP,)
+    return defs
+
+
+@dataclass
+class Dataflow:
+    """Result of static inference over an instruction sequence.
+
+    Indices are positions within the analyzed sequence, and
+    ``instructions[i].index`` maps back to global program indices.
+    """
+
+    instructions: list[Instruction]
+    #: position -> {register: defining position} for statically inferable deps.
+    static_edges: dict[int, dict[int, int]] = field(default_factory=dict)
+    #: position -> registers whose value is live-in (dependence must be
+    #: recorded dynamically).
+    live_in_uses: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def static_dep_count(self) -> int:
+        return sum(len(v) for v in self.static_edges.values())
+
+    @property
+    def dynamic_use_count(self) -> int:
+        return sum(len(v) for v in self.live_in_uses.values())
+
+    def is_static_use(self, position: int, reg: int) -> bool:
+        return reg in self.static_edges.get(position, ())
+
+
+def _analyze(instructions: list[Instruction]) -> Dataflow:
+    flow = Dataflow(instructions=instructions)
+    last_def: dict[int, int] = {}
+    for pos, instr in enumerate(instructions):
+        static: dict[int, int] = {}
+        dynamic: list[int] = []
+        for reg in _effective_uses(instr):
+            if reg in last_def:
+                static[reg] = last_def[reg]
+            else:
+                dynamic.append(reg)
+        if static:
+            flow.static_edges[pos] = static
+        if dynamic:
+            flow.live_in_uses[pos] = tuple(dynamic)
+        if instr.opcode in (Opcode.CALL, Opcode.ICALL):
+            # The callee may write any register: kill everything.
+            last_def.clear()
+            continue
+        for reg in _effective_defs(instr):
+            last_def[reg] = pos
+    return flow
+
+
+def block_dataflow(cfg: CFG, bid: int) -> Dataflow:
+    """Static def-use structure of basic block ``bid``."""
+    return _analyze(cfg.instructions(bid))
+
+
+def path_dataflow(cfg: CFG, bids: list[int]) -> Dataflow:
+    """Static def-use structure along a block path (trace).
+
+    The path must be connected (each block a CFG successor of the
+    previous one); a dependence is static on the trace iff the trace is
+    actually followed at runtime, which the tracer checks before relying
+    on this result.
+    """
+    for a, b in zip(bids, bids[1:]):
+        if b not in cfg.blocks[a].succs:
+            raise ValueError(f"blocks {a} -> {b} are not connected in the CFG")
+    instrs: list[Instruction] = []
+    for bid in bids:
+        instrs.extend(cfg.instructions(bid))
+    return _analyze(instrs)

@@ -1,0 +1,25 @@
+"""MiniC: the small imperative language workloads are written in.
+
+``compile_source`` turns MiniC text into a runnable
+:class:`repro.isa.Program` plus symbol/line metadata used by the
+debugging applications.
+"""
+
+from .codegen import BUILTINS, CompiledProgram, Compiler, compile_program, compile_source
+from .errors import CompileError
+from .lexer import Token, TokKind, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "BUILTINS",
+    "CompiledProgram",
+    "Compiler",
+    "compile_program",
+    "compile_source",
+    "CompileError",
+    "Token",
+    "TokKind",
+    "tokenize",
+    "Parser",
+    "parse",
+]

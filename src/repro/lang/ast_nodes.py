@@ -1,0 +1,143 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes carry their source line so the compiler can stamp each emitted
+instruction with a position — fault-location reports then point at
+MiniC lines the way the paper's reports point at C statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --- expressions -----------------------------------------------------------
+@dataclass
+class Num(Node):
+    value: int = 0
+
+
+@dataclass
+class Name(Node):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: "Expr" = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class Index(Node):
+    """``base[index]`` — a memory load when read, a store target on the
+    left of an assignment."""
+
+    base: "Expr" = None
+    index: "Expr" = None
+
+
+@dataclass
+class Call(Node):
+    """Function call or builtin invocation."""
+
+    name: str = ""
+    args: list = field(default_factory=list)
+
+
+Expr = Num | Name | Unary | Binary | Index | Call
+
+
+# --- statements --------------------------------------------------------------
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Node):
+    target: Name | Index = None
+    value: Expr = None
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None
+    then: list = field(default_factory=list)
+    otherwise: list = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    init: "Stmt | None" = None
+    cond: Expr | None = None
+    step: "Stmt | None" = None
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Return(Node):
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr = None
+
+
+Stmt = VarDecl | Assign | If | While | For | Break | Continue | Return | ExprStmt
+
+
+# --- top level -----------------------------------------------------------------
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    size: int = 1  # 1 = scalar, >1 = array of that many cells
+
+
+@dataclass
+class ConstDecl(Node):
+    name: str = ""
+    value: int = 0
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str = ""
+    params: list = field(default_factory=list)
+    body: list = field(default_factory=list)
+
+
+@dataclass
+class Module(Node):
+    globals: list = field(default_factory=list)
+    consts: list = field(default_factory=list)
+    functions: list = field(default_factory=list)

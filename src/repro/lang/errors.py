@@ -1,0 +1,13 @@
+"""Compile-time errors for the MiniC front end."""
+
+from __future__ import annotations
+
+
+class CompileError(Exception):
+    """Lexing/parsing/semantic error with source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        location = f"{line}:{col}: " if line else ""
+        super().__init__(location + message)
+        self.line = line
+        self.col = col

@@ -1,0 +1,164 @@
+"""Tokenizer for MiniC, the small imperative language the workloads are
+written in.
+
+MiniC exists because authoring SPEC-like kernels, a multithreaded
+server, and seeded-bug programs directly in assembly is unreadable and
+error-prone.  The language is deliberately tiny: one word-sized integer
+type, globals (scalars and arrays), functions with up to four
+parameters, `if`/`while`/`for`, and builtins that map 1:1 onto the ISA's
+I/O, heap, thread, and sync instructions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import CompileError
+
+
+class TokKind(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "fn",
+    "var",
+    "global",
+    "const",
+    "if",
+    "else",
+    "while",
+    "for",
+    "break",
+    "continue",
+    "return",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    value: int  # numeric value for NUMBER tokens
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens (ending with an EOF token)."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line, col)
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            col = (
+                len(skipped) - skipped.rfind("\n") if "\n" in skipped else col + len(skipped)
+            )
+            i = end + 2
+            continue
+        start_line, start_col = line, col
+        if c.isdigit():
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                if j == i + 2:
+                    raise CompileError("malformed hex literal", line, col)
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token(TokKind.NUMBER, source[i:j], value, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        if c == "'":
+            if i + 2 < n and source[i + 2] == "'":
+                tokens.append(
+                    Token(TokKind.NUMBER, source[i : i + 3], ord(source[i + 1]), line, col)
+                )
+                i += 3
+                col += 3
+                continue
+            raise CompileError("malformed character literal", line, col)
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, 0, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokKind.OP, op, 0, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {c!r}", line, col)
+    tokens.append(Token(TokKind.EOF, "", 0, line, col))
+    return tokens

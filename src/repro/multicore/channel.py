@@ -1,0 +1,91 @@
+"""Communication channels between the application core and the DIFT
+helper core (§2.1, "Exploiting multicores", citing [3]).
+
+The helper-thread design communicates "registers and flags between the
+main and helper threads"; the paper explores a **software** (shared
+memory) and a **hardware** (dedicated interconnect) channel.  The
+difference is pure cost structure, which is what these classes model:
+
+* enqueue cycles charged to the *main* core per message,
+* dequeue cycles charged to the *helper* core per message,
+* a bounded queue — when the helper falls behind by more than
+  ``capacity`` messages, the main core stalls (back-pressure).
+
+A shared-memory queue pays cache-coherence traffic on both ends and
+gets a deeper buffer; a dedicated interconnect is nearly free per
+message but shallow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChannelModel:
+    """Cost/capacity description of one main->helper channel."""
+
+    name: str
+    enqueue_cycles: int
+    dequeue_cycles: int
+    capacity: int
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+
+
+def shared_memory_channel(capacity: int = 4096) -> ChannelModel:
+    """Software queue in shared memory: coherence misses on both sides."""
+    return ChannelModel(
+        name="sw-shared-memory", enqueue_cycles=6, dequeue_cycles=4, capacity=capacity
+    )
+
+
+def hardware_interconnect(capacity: int = 64) -> ChannelModel:
+    """Dedicated core-to-core interconnect: ~1 cycle per message."""
+    return ChannelModel(
+        name="hw-interconnect", enqueue_cycles=1, dequeue_cycles=1, capacity=capacity
+    )
+
+
+@dataclass
+class QueueSimulator:
+    """In-order single-server queue between two timelines.
+
+    The main core enqueues message ``i`` at time ``t_i`` (its own
+    cycle count); the helper serves messages FIFO, each taking
+    ``service`` cycles, starting no earlier than its enqueue time.
+    When ``capacity`` messages are in flight the producer stalls until
+    the oldest completes.
+    """
+
+    channel: ChannelModel
+    helper_free: int = 0
+    #: completion times of in-flight messages (monotone).
+    in_flight: deque = field(default_factory=deque)
+    messages: int = 0
+    stall_cycles: int = 0
+
+    def enqueue(self, main_time: int, service_cycles: int) -> int:
+        """Enqueue one message at ``main_time``; returns the stall (in
+        cycles) the main core must absorb for back-pressure."""
+        flight = self.in_flight
+        while flight and flight[0] <= main_time:
+            flight.popleft()
+        stall = 0
+        if len(flight) >= self.channel.capacity:
+            oldest = flight.popleft()
+            stall = max(0, oldest - main_time)
+            self.stall_cycles += stall
+            main_time += stall
+        start = max(self.helper_free, main_time)
+        self.helper_free = start + self.channel.dequeue_cycles + service_cycles
+        flight.append(self.helper_free)
+        self.messages += 1
+        return stall
+
+    def drain(self, main_time: int) -> int:
+        """Cycles (past ``main_time``) until the helper finishes all work."""
+        return max(0, self.helper_free - main_time)

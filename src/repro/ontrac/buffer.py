@@ -1,0 +1,76 @@
+"""Fixed-size circular trace buffer.
+
+ONTRAC "make[s] the design decision of not outputting the dependences
+to a file, instead storing them in memory in a specially allocated
+fixed size circular buffer".  The buffer's byte capacity therefore
+bounds the *execution history window*: a fault is debuggable with
+dynamic slicing only if it is exercised within the window — which is
+why the optimizations that shrink bytes/instruction directly grow the
+reachable history (E3).
+
+Eviction is oldest-first by modeled record bytes (see
+:mod:`repro.ontrac.records`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .records import DepRecord
+
+
+@dataclass
+class BufferStats:
+    appended: int = 0
+    appended_bytes: int = 0
+    evicted: int = 0
+    evicted_bytes: int = 0
+
+
+class TraceBuffer:
+    """Bounded deque of :class:`DepRecord` with byte accounting."""
+
+    def __init__(self, capacity_bytes: int = 16 * 1024 * 1024):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.records: deque[DepRecord] = deque()
+        self.current_bytes = 0
+        self.stats = BufferStats()
+
+    def append(self, record: DepRecord) -> None:
+        self.records.append(record)
+        self.current_bytes += record.bytes
+        self.stats.appended += 1
+        self.stats.appended_bytes += record.bytes
+        while self.current_bytes > self.capacity_bytes and self.records:
+            old = self.records.popleft()
+            self.current_bytes -= old.bytes
+            self.stats.evicted += 1
+            self.stats.evicted_bytes += old.bytes
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def oldest_seq(self) -> int:
+        """Oldest dynamic instruction still referenced (-1 if empty)."""
+        return self.records[0].consumer_seq if self.records else -1
+
+    @property
+    def newest_seq(self) -> int:
+        return self.records[-1].consumer_seq if self.records else -1
+
+    def window_instructions(self) -> int:
+        """Length of the execution-history window covered by the buffer."""
+        if not self.records:
+            return 0
+        return self.newest_seq - self.oldest_seq + 1
+
+    def covers_seq(self, seq: int) -> bool:
+        """True if dynamic instruction ``seq`` is inside the history window."""
+        return bool(self.records) and self.oldest_seq <= seq <= self.newest_seq

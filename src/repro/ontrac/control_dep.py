@@ -1,0 +1,90 @@
+"""Online dynamic control-dependence detection.
+
+Implements the region-stack algorithm of Xin & Zhang (ISSTA'07, the
+paper's [11]): every executed conditional branch opens a *region* that
+closes when control reaches the branch's immediate post-dominator in
+the same invocation; the dynamic control parent of an instruction is
+the branch on top of its thread's open-region stack.
+
+Two details make this exact across procedures and recursion:
+
+* each stack entry records the *call depth* at which the branch
+  executed, so a region whose ipdom is the function exit closes when
+  the invocation returns (depth drops below the entry's depth), and a
+  recursive re-execution of the same branch never matches an outer
+  invocation's ipdom;
+* callee instructions inherit the caller's open regions (one stack per
+  thread, not per frame), giving interprocedural dynamic control
+  dependence for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.cfg import build_cfgs
+from ..isa.dominance import Dominance, branch_ipdom_table
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from ..vm.events import InstrEvent
+
+
+@dataclass
+class Region:
+    branch_seq: int
+    branch_pc: int
+    ipdom_pc: int  # -1 when the region extends to the invocation's exit
+    depth: int
+
+
+class ControlDependenceTracker:
+    """Per-thread open-region stacks over one program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.ipdom_pc: dict[int, int] = {}
+        for name, cfg in build_cfgs(program).items():
+            dom = Dominance(cfg)
+            self.ipdom_pc.update(branch_ipdom_table(cfg, dom))
+        self._stacks: dict[int, list[Region]] = {}
+        self._depths: dict[int, int] = {}
+
+    def observe(self, ev: InstrEvent) -> Region | None:
+        """Process one executed instruction; returns its dynamic control
+        parent (the innermost open region), or None at top level."""
+        tid = ev.tid
+        stack = self._stacks.setdefault(tid, [])
+        depth = self._depths.get(tid, 0)
+        pc = ev.pc
+        while stack and (
+            stack[-1].depth > depth
+            or (stack[-1].depth == depth and stack[-1].ipdom_pc == pc)
+        ):
+            stack.pop()
+        parent = stack[-1] if stack else None
+        op = ev.instr.opcode
+        if op is Opcode.BR or op is Opcode.BRZ:
+            # A re-executed loop branch replaces its own stale region
+            # (same reconvergence point; the newest instance is the true
+            # parent) so the stack stays bounded across iterations.
+            if stack and stack[-1].branch_pc == pc and stack[-1].depth == depth:
+                stack.pop()
+            stack.append(
+                Region(
+                    branch_seq=ev.seq,
+                    branch_pc=pc,
+                    ipdom_pc=self.ipdom_pc.get(pc, -1),
+                    depth=depth,
+                )
+            )
+        elif op is Opcode.CALL or op is Opcode.ICALL:
+            self._depths[tid] = depth + 1
+        elif op is Opcode.RET:
+            self._depths[tid] = depth - 1
+        return parent
+
+    def depth(self, tid: int) -> int:
+        return self._depths.get(tid, 0)
+
+    def open_regions(self, tid: int) -> list[Region]:
+        return list(self._stacks.get(tid, []))

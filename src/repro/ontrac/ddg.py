@@ -1,0 +1,117 @@
+"""Dynamic dependence graph (DDG) — the queryable view over stored
+dependence records.
+
+Nodes are dynamic instruction instances (``seq``); each node remembers
+its static pc and thread.  Backward edges point from a consumer to the
+producers it depends on, labeled with the dependence kind.  Slicing
+(:mod:`repro.slicing`) runs transitive closures over this structure.
+
+A DDG built from a circular buffer only contains what survived
+eviction; ``complete=False`` marks that truncation so slicers can
+report when a slice ran off the edge of the history window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .records import DepKind, DepRecord
+
+
+@dataclass
+class DDGNode:
+    seq: int
+    pc: int
+    tid: int
+
+
+@dataclass
+class DynamicDependenceGraph:
+    nodes: dict[int, DDGNode] = field(default_factory=dict)
+    #: consumer seq -> list of (producer seq, kind)
+    backward: dict[int, list[tuple[int, DepKind]]] = field(default_factory=dict)
+    #: producer seq -> list of (consumer seq, kind)
+    forward: dict[int, list[tuple[int, DepKind]]] = field(default_factory=dict)
+    #: False when built from a (possibly truncated) circular buffer.
+    complete: bool = True
+
+    def _ensure(self, seq: int, pc: int, tid: int) -> None:
+        if seq not in self.nodes:
+            self.nodes[seq] = DDGNode(seq=seq, pc=pc, tid=tid)
+
+    def add_edge(
+        self,
+        consumer_seq: int,
+        consumer_pc: int,
+        producer_seq: int,
+        producer_pc: int,
+        kind: DepKind,
+        tid: int = 0,
+    ) -> None:
+        self._ensure(consumer_seq, consumer_pc, tid)
+        self._ensure(producer_seq, producer_pc, tid)
+        self.backward.setdefault(consumer_seq, []).append((producer_seq, kind))
+        self.forward.setdefault(producer_seq, []).append((consumer_seq, kind))
+
+    def add_node(self, seq: int, pc: int, tid: int = 0) -> None:
+        self._ensure(seq, pc, tid)
+
+    # -- queries -----------------------------------------------------------
+    def producers(self, seq: int, kinds: Iterable[DepKind] | None = None):
+        edges = self.backward.get(seq, [])
+        if kinds is None:
+            return list(edges)
+        wanted = set(kinds)
+        return [(p, k) for p, k in edges if k in wanted]
+
+    def consumers(self, seq: int, kinds: Iterable[DepKind] | None = None):
+        edges = self.forward.get(seq, [])
+        if kinds is None:
+            return list(edges)
+        wanted = set(kinds)
+        return [(c, k) for c, k in edges if k in wanted]
+
+    def pc_of(self, seq: int) -> int:
+        return self.nodes[seq].pc
+
+    def instances_of_pc(self, pc: int) -> list[int]:
+        """All dynamic instances of static instruction ``pc`` (ascending)."""
+        return sorted(n.seq for n in self.nodes.values() if n.pc == pc)
+
+    def last_instance_of_pc(self, pc: int) -> int | None:
+        instances = self.instances_of_pc(pc)
+        return instances[-1] if instances else None
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.backward.values())
+
+    def stats(self) -> dict[str, int]:
+        by_kind: dict[str, int] = {}
+        for edges in self.backward.values():
+            for _, kind in edges:
+                by_kind[kind.value] = by_kind.get(kind.value, 0) + 1
+        return {"nodes": len(self.nodes), "edges": self.edge_count, **by_kind}
+
+
+def build_ddg(records: Iterable[DepRecord], complete: bool = True) -> DynamicDependenceGraph:
+    """Assemble a DDG from stored dependence records.
+
+    INSTR and BRANCH records contribute nodes only; the dependence
+    kinds contribute edges.
+    """
+    ddg = DynamicDependenceGraph(complete=complete)
+    for rec in records:
+        if rec.kind in (DepKind.INSTR, DepKind.BRANCH):
+            ddg.add_node(rec.consumer_seq, rec.consumer_pc, rec.tid)
+        else:
+            ddg.add_edge(
+                rec.consumer_seq,
+                rec.consumer_pc,
+                rec.producer_seq,
+                rec.producer_pc,
+                rec.kind,
+                tid=rec.tid,
+            )
+    return ddg

@@ -1,0 +1,401 @@
+"""ONTRAC: the online dependence tracer (§2.1).
+
+Computes dynamic dependences *during* execution and stores them in a
+fixed-size circular buffer, eliminating the offline post-processing
+step of the earlier two-phase pipeline (see
+:mod:`repro.ontrac.offline` for that baseline).
+
+Optimizations, exactly the paper's list:
+
+Generic
+  1. **Intra-block static inference** — a register dependence whose
+     producer executed in the same dynamic basic-block instance is
+     fully determined by the static code; store nothing.
+  2. **Trace (super-block) inference** — the same across basic blocks
+     on frequently executed paths: once a block transition has run
+     ``hot_trace_threshold`` times, the blocks fuse into one inference
+     region (a one-time 16-byte trace registration is charged).
+  3. **Redundant-load elision** — a load at the same pc from the same
+     address with the same producing store repeats the previously
+     stored dependence; skip it.
+
+Targeted (debugging-specific)
+  4. **Selective tracing** — only dependences of user-specified
+     functions are stored, but dataflow through *unspecified* code is
+     still summarized (each location remembers the set of traced
+     ancestors feeding it) so dependence chains through traced code are
+     never broken — the paper's point that naively uninstrumenting
+     other functions is unsound.
+  5. **Forward-slice-of-input filtering** — only dependences whose
+     consumer is (transitively) input-derived are stored, because root
+     causes usually sit in the forward slice of the inputs [1].
+
+Overhead model: every observed instruction costs ``stub_cycles``
+(DBT dispatch + inline stubs) plus ``cycles_per_byte`` for each stored
+byte, charged to the machine's overhead counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.cfg import build_cfgs
+from ..isa.instructions import Opcode
+from ..isa.program import Program
+from ..vm.events import Hook, InstrEvent
+from ..vm.machine import Machine
+from .buffer import TraceBuffer
+from .control_dep import ControlDependenceTracker
+from .ddg import DynamicDependenceGraph, build_ddg
+from .records import TRACE_FORMATION_BYTES, DepKind, DepRecord
+
+#: cap on how many traced ancestors an untraced-code summary carries.
+SUMMARY_FANIN_CAP = 16
+
+
+@dataclass
+class OntracConfig:
+    """Tracer configuration; see the module docstring for semantics."""
+
+    buffer_bytes: int = 16 * 1024 * 1024
+    naive: bool = False  # store per-instruction records, disable all opts
+    infer_intra_block: bool = True
+    infer_traces: bool = True
+    hot_trace_threshold: int = 50
+    elide_redundant_loads: bool = True
+    selective_functions: frozenset[str] | None = None
+    input_forward_slice: bool = False
+    record_control: bool = True
+    record_war_waw: bool = False
+    charge_overhead: bool = True
+    stub_cycles: int = 25
+    cycles_per_byte: int = 3
+
+    @classmethod
+    def unoptimized(cls, **overrides) -> "OntracConfig":
+        """The paper's 16 B/instruction baseline."""
+        cfg = cls(
+            naive=True,
+            infer_intra_block=False,
+            infer_traces=False,
+            elide_redundant_loads=False,
+            input_forward_slice=False,
+        )
+        for key, value in overrides.items():
+            setattr(cfg, key, value)
+        return cfg
+
+    @classmethod
+    def generic_optimizations(cls, **overrides) -> "OntracConfig":
+        cfg = cls()
+        for key, value in overrides.items():
+            setattr(cfg, key, value)
+        return cfg
+
+
+@dataclass
+class OntracStats:
+    instructions: int = 0
+    stored: dict[str, int] = field(default_factory=dict)
+    stored_bytes: int = 0
+    skipped: dict[str, int] = field(default_factory=dict)
+    hot_traces: int = 0
+
+    def _bump(self, table: dict[str, int], key: str) -> None:
+        table[key] = table.get(key, 0) + 1
+
+    @property
+    def bytes_per_instruction(self) -> float:
+        return self.stored_bytes / self.instructions if self.instructions else 0.0
+
+
+# A producer is either a concrete dynamic instruction
+# ("n", seq, pc, block_instance, tid) or a summary of traced ancestors
+# flowing through untraced code ("s", frozenset({(seq, pc), ...})).
+_NODE = "n"
+_SUMMARY = "s"
+
+
+class OnlineTracer(Hook):
+    """ONTRAC attached to one machine run."""
+
+    def __init__(self, program: Program, config: OntracConfig | None = None):
+        self.program = program
+        self.config = config or OntracConfig()
+        self.buffer = TraceBuffer(self.config.buffer_bytes)
+        self.stats = OntracStats()
+        self.machine: Machine | None = None
+        # Static structure: block leaders per global pc.
+        self._leaders: set[int] = set()
+        for cfg in build_cfgs(program).values():
+            for block in cfg.blocks:
+                self._leaders.add(block.start)
+        self._control = ControlDependenceTracker(program) if self.config.record_control else None
+        # Dynamic state.
+        self._last_reg: dict[tuple[int, int], tuple] = {}
+        self._last_mem: dict[int, tuple] = {}
+        self._block_instance: dict[int, int] = {}
+        self._next_instance = 0
+        self._prev_call_ret: dict[int, bool] = {}
+        self._prev_leader: dict[int, int] = {}
+        self._transition_counts: dict[tuple[int, int], int] = {}
+        self._hot_transitions: set[tuple[int, int]] = set()
+        self._redundant_load: dict[int, tuple[int, int]] = {}
+        self._derived_reg: set[tuple[int, int]] = set()
+        self._derived_mem: set[int] = set()
+        self._last_readers: dict[int, list[tuple[int, int, int]]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, machine: Machine) -> "OnlineTracer":
+        self.machine = machine
+        machine.hooks.subscribe(self)
+        return self
+
+    def dependence_graph(self) -> DynamicDependenceGraph:
+        """DDG over the records currently in the buffer."""
+        return build_ddg(self.buffer, complete=self.buffer.stats.evicted == 0)
+
+    # -- helpers -------------------------------------------------------------
+    def _store(self, record: DepRecord) -> int:
+        self.buffer.append(record)
+        self.stats._bump(self.stats.stored, record.kind.value)
+        self.stats.stored_bytes += record.bytes
+        return record.bytes
+
+    def _is_traced(self, ev: InstrEvent) -> bool:
+        sel = self.config.selective_functions
+        return sel is None or ev.instr.function in sel
+
+    def _bump_instance(self, tid: int) -> None:
+        self._next_instance += 1
+        self._block_instance[tid] = self._next_instance
+
+    def _maintain_blocks(self, ev: InstrEvent) -> int:
+        """Track dynamic basic-block (or hot-trace) instances; returns the
+        extra bytes charged for newly formed traces."""
+        tid = ev.tid
+        extra = 0
+        if self._prev_call_ret.get(tid, True):
+            # Entering code after call/ret (or thread start): always a new
+            # inference region — the callee may have clobbered registers.
+            self._bump_instance(tid)
+            if ev.pc in self._leaders:
+                self._prev_leader[tid] = ev.pc
+        elif ev.pc in self._leaders:
+            fused = False
+            if self.config.infer_traces:
+                prev = self._prev_leader.get(tid, -1)
+                if prev >= 0:
+                    key = (prev, ev.pc)
+                    count = self._transition_counts.get(key, 0) + 1
+                    self._transition_counts[key] = count
+                    if key in self._hot_transitions:
+                        fused = True
+                    elif count >= self.config.hot_trace_threshold:
+                        self._hot_transitions.add(key)
+                        self.stats.hot_traces += 1
+                        extra = TRACE_FORMATION_BYTES
+                        self.stats.stored_bytes += extra
+                        fused = True
+            if not fused:
+                self._bump_instance(tid)
+            self._prev_leader[tid] = ev.pc
+        op = ev.instr.opcode
+        self._prev_call_ret[tid] = op in (Opcode.CALL, Opcode.ICALL, Opcode.RET)
+        return extra
+
+    # -- the hook --------------------------------------------------------------
+    def on_instruction(self, ev: InstrEvent) -> None:
+        cfg = self.config
+        stats = self.stats
+        stats.instructions += 1
+        tid = ev.tid
+        op = ev.instr.opcode
+        bytes_stored = 0
+
+        bytes_stored += self._maintain_blocks(ev)
+        instance = self._block_instance.get(tid, 0)
+
+        parent = self._control.observe(ev) if self._control is not None else None
+
+        traced = self._is_traced(ev)
+
+        # --- input-derived flag of this instruction -------------------------
+        if cfg.input_forward_slice:
+            derived = op is Opcode.IN
+            if not derived:
+                for reg, _ in ev.reg_reads:
+                    if (tid, reg) in self._derived_reg:
+                        derived = True
+                        break
+            if not derived:
+                for addr, _ in ev.mem_reads:
+                    if addr in self._derived_mem:
+                        derived = True
+                        break
+        else:
+            derived = True
+
+        store_deps = traced and derived
+        if traced and not derived:
+            stats._bump(stats.skipped, "input_filter")
+
+        # --- per-instruction record (naive mode only) ------------------------
+        if cfg.naive and traced:
+            bytes_stored += self._store(
+                DepRecord(DepKind.INSTR, ev.seq, ev.pc, tid=tid)
+            )
+
+        # --- register dependences ---------------------------------------------
+        seen_regs: set[int] = set()
+        for reg, _ in ev.reg_reads:
+            if reg in seen_regs:
+                continue
+            seen_regs.add(reg)
+            producer = self._last_reg.get((tid, reg))
+            if producer is None:
+                continue
+            if not store_deps:
+                continue
+            if producer[0] == _SUMMARY:
+                for pseq, ppc in producer[1]:
+                    bytes_stored += self._store(
+                        DepRecord(DepKind.SUMMARY, ev.seq, ev.pc, pseq, ppc, tid=tid)
+                    )
+                continue
+            _, pseq, ppc, pinstance, ptid = producer
+            if (
+                not cfg.naive
+                and cfg.infer_intra_block
+                and ptid == tid
+                and pinstance == instance
+            ):
+                key = "static_block" if not self._was_fused(instance) else "static_trace"
+                stats._bump(stats.skipped, key)
+                # The edge is recoverable from the binary at query time:
+                # keep it in the buffer at zero modeled cost.
+                bytes_stored += self._store(
+                    DepRecord(DepKind.IREG, ev.seq, ev.pc, pseq, ppc, tid=tid)
+                )
+                continue
+            bytes_stored += self._store(
+                DepRecord(DepKind.REG, ev.seq, ev.pc, pseq, ppc, tid=tid)
+            )
+
+        # --- memory dependences --------------------------------------------------
+        for addr, _ in ev.mem_reads:
+            producer = self._last_mem.get(addr)
+            readers = self._last_readers.setdefault(addr, [])
+            if cfg.record_war_waw and len(readers) < 8:
+                readers.append((ev.seq, ev.pc, tid))
+            if producer is None or not store_deps:
+                continue
+            if producer[0] == _SUMMARY:
+                for pseq, ppc in producer[1]:
+                    bytes_stored += self._store(
+                        DepRecord(DepKind.SUMMARY, ev.seq, ev.pc, pseq, ppc, tid=tid)
+                    )
+                continue
+            _, pseq, ppc, _, ptid = producer
+            if not cfg.naive and cfg.elide_redundant_loads and op in (Opcode.LOAD, Opcode.POP):
+                cached = self._redundant_load.get(ev.pc)
+                if cached == (addr, pseq):
+                    stats._bump(stats.skipped, "redundant_load")
+                    # Recoverable from the previously stored identical
+                    # dependence: keep the edge at zero modeled cost.
+                    bytes_stored += self._store(
+                        DepRecord(DepKind.IMEM, ev.seq, ev.pc, pseq, ppc, tid=tid)
+                    )
+                    continue
+                self._redundant_load[ev.pc] = (addr, pseq)
+            bytes_stored += self._store(
+                DepRecord(DepKind.MEM, ev.seq, ev.pc, pseq, ppc, tid=tid)
+            )
+
+        # --- control dependence ------------------------------------------------
+        if parent is not None and store_deps:
+            bytes_stored += self._store(
+                DepRecord(
+                    DepKind.CONTROL, ev.seq, ev.pc, parent.branch_seq, parent.branch_pc, tid=tid
+                )
+            )
+        if (op is Opcode.BR or op is Opcode.BRZ) and self._control is not None and traced:
+            bytes_stored += self._store(DepRecord(DepKind.BRANCH, ev.seq, ev.pc, tid=tid))
+
+        # --- WAR/WAW (multithreaded slicing extension) ----------------------------
+        if cfg.record_war_waw and ev.mem_writes:
+            for addr, _ in ev.mem_writes:
+                prev_writer = self._last_mem.get(addr)
+                if prev_writer is not None and prev_writer[0] == _NODE:
+                    _, pseq, ppc, _, ptid = prev_writer
+                    if ptid != tid:
+                        bytes_stored += self._store(
+                            DepRecord(DepKind.WAW, ev.seq, ev.pc, pseq, ppc, tid=tid)
+                        )
+                for rseq, rpc, rtid in self._last_readers.pop(addr, []):
+                    if rtid != tid:
+                        bytes_stored += self._store(
+                            DepRecord(DepKind.WAR, ev.seq, ev.pc, rseq, rpc, tid=tid)
+                        )
+
+        # --- update last-writer metadata --------------------------------------------
+        if traced:
+            entry = (_NODE, ev.seq, ev.pc, instance, tid)
+        else:
+            # Summarize through untraced code: inherit the traced
+            # ancestors of every input so chains are not broken.
+            ancestors: set[tuple[int, int]] = set()
+            for reg, _ in ev.reg_reads:
+                producer = self._last_reg.get((tid, reg))
+                if producer is None:
+                    continue
+                if producer[0] == _NODE:
+                    ancestors.add((producer[1], producer[2]))
+                else:
+                    ancestors.update(producer[1])
+            for addr, _ in ev.mem_reads:
+                producer = self._last_mem.get(addr)
+                if producer is None:
+                    continue
+                if producer[0] == _NODE:
+                    ancestors.add((producer[1], producer[2]))
+                else:
+                    ancestors.update(producer[1])
+            if len(ancestors) > SUMMARY_FANIN_CAP:
+                ancestors = set(sorted(ancestors)[-SUMMARY_FANIN_CAP:])
+            entry = (_SUMMARY, frozenset(ancestors))
+
+        for reg, _ in ev.reg_writes:
+            self._last_reg[(tid, reg)] = entry
+            if cfg.input_forward_slice:
+                if derived:
+                    self._derived_reg.add((tid, reg))
+                else:
+                    self._derived_reg.discard((tid, reg))
+        for addr, _ in ev.mem_writes:
+            self._last_mem[addr] = entry
+            if cfg.input_forward_slice:
+                if derived:
+                    self._derived_mem.add(addr)
+                else:
+                    self._derived_mem.discard(addr)
+
+        if op is Opcode.SPAWN:
+            # The child's r0 is defined by the spawn's argument flow.
+            child = ev.reg_writes[0][1]
+            self._last_reg[(child, 0)] = entry
+            if cfg.input_forward_slice and derived:
+                self._derived_reg.add((child, 0))
+
+        # --- overhead accounting --------------------------------------------------
+        if cfg.charge_overhead and self.machine is not None:
+            self.machine.add_overhead(cfg.stub_cycles + bytes_stored * cfg.cycles_per_byte)
+
+    def _was_fused(self, instance: int) -> bool:
+        """Attribution only: whether this inference region spans a trace.
+
+        We do not track fusion per instance (it would cost memory for a
+        stat); attribute to traces whenever trace inference is on and at
+        least one hot trace exists.
+        """
+        return self.config.infer_traces and bool(self._hot_transitions)

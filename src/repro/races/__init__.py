@@ -1,0 +1,15 @@
+"""Data-race detection over multithreaded dynamic slices, with
+synchronization-aware filtering (§3.1, [8,10])."""
+
+from .detector import RaceDetector, RaceReport, SyncHistory
+from .sync_aware import FlagSync, SyncAwareRaceDetector, SyncAwareResult, SyncRecognizer
+
+__all__ = [
+    "RaceDetector",
+    "RaceReport",
+    "SyncHistory",
+    "FlagSync",
+    "SyncAwareRaceDetector",
+    "SyncAwareResult",
+    "SyncRecognizer",
+]

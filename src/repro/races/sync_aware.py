@@ -1,0 +1,149 @@
+"""Dynamic recognition of user-defined synchronization for race
+filtering (§3.1, citing [10] "Dynamic Recognition of Synchronizations
+for Data Race Detection").
+
+Lock-based detectors drown the user in *benign synchronization races*:
+flag-style user synchronization (one thread spins reading a cell until
+another writes it) is an intentional data race.  [10] recognizes these
+patterns dynamically and (a) removes the flag accesses themselves from
+the report, and (b) uses the discovered ordering (flag set happens
+before the spin exit) as a happens-before edge that filters *further*
+false races on the data the flag protects.
+
+Recognition here follows the classic shape: a thread issues ``>= K``
+consecutive loads of the same address at the same pc yielding the same
+value, and the spin exits right after another thread's store changed
+the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..vm.events import Hook, InstrEvent
+from .detector import RaceDetector, RaceReport, SyncHistory
+
+
+@dataclass(frozen=True)
+class FlagSync:
+    """One recognized flag synchronization."""
+
+    addr: int
+    setter_tid: int
+    set_seq: int  # the store that released the spin
+    waiter_tid: int
+    exit_seq: int  # the read that observed the new value
+    spins: int
+
+
+class SyncRecognizer(Hook):
+    """Observes execution and recognizes flag-spin synchronizations."""
+
+    def __init__(self, spin_threshold: int = 5):
+        self.spin_threshold = spin_threshold
+        self.flag_syncs: list[FlagSync] = []
+        #: (tid, pc) -> (addr, value, count)
+        self._spins: dict[tuple[int, int], tuple[int, int, int]] = {}
+        #: addr -> (writer tid, seq) of the last store.
+        self._last_store: dict[int, tuple[int, int]] = {}
+
+    def on_instruction(self, ev: InstrEvent) -> None:
+        for addr, value in ev.mem_writes:
+            self._last_store[addr] = (ev.tid, ev.seq)
+        for addr, value in ev.mem_reads:
+            key = (ev.tid, ev.pc)
+            prev = self._spins.get(key)
+            if prev is not None and prev[0] == addr and prev[1] == value:
+                self._spins[key] = (addr, value, prev[2] + 1)
+                continue
+            if (
+                prev is not None
+                and prev[0] == addr
+                and prev[1] != value
+                and prev[2] >= self.spin_threshold
+            ):
+                writer = self._last_store.get(addr)
+                if writer is not None and writer[0] != ev.tid:
+                    self.flag_syncs.append(
+                        FlagSync(
+                            addr=addr,
+                            setter_tid=writer[0],
+                            set_seq=writer[1],
+                            waiter_tid=ev.tid,
+                            exit_seq=ev.seq,
+                            spins=prev[2],
+                        )
+                    )
+            self._spins[key] = (addr, value, 0)
+
+
+@dataclass
+class SyncAwareResult:
+    reported: list[RaceReport] = field(default_factory=list)
+    filtered_flag_accesses: list[RaceReport] = field(default_factory=list)
+    filtered_by_flag_ordering: list[RaceReport] = field(default_factory=list)
+    filtered_by_locks_or_hb: list[RaceReport] = field(default_factory=list)
+
+    @property
+    def baseline_count(self) -> int:
+        """Races a lockset-only detector (no HB, no sync recognition)
+        would have reported."""
+        return (
+            len(self.reported)
+            + len(self.filtered_flag_accesses)
+            + len(self.filtered_by_flag_ordering)
+            + len(self.filtered_by_locks_or_hb)
+        )
+
+
+class SyncAwareRaceDetector:
+    """Race detection with dynamic synchronization recognition."""
+
+    def __init__(self, detector: RaceDetector, flag_syncs: list[FlagSync]):
+        self.detector = detector
+        self.flag_syncs = flag_syncs
+
+    def _flag_addresses(self) -> set[int]:
+        return {f.addr for f in self.flag_syncs}
+
+    def _flag_orders(self, first_seq: int, second_seq: int) -> FlagSync | None:
+        """A recognized flag sync whose (set -> exit) interval orders the
+        two accesses: first before the set, second after the exit."""
+        for f in self.flag_syncs:
+            if first_seq <= f.set_seq and second_seq >= f.exit_seq:
+                return f
+        return None
+
+    def detect(self) -> SyncAwareResult:
+        result = SyncAwareResult()
+        flag_addrs = self._flag_addresses()
+        for report in self.detector.detect():
+            dep = report.dependence
+            if report.filtered:
+                result.filtered_by_locks_or_hb.append(report)
+                continue
+            first = min(dep.producer_seq, dep.consumer_seq)
+            second = max(dep.producer_seq, dep.consumer_seq)
+            # (a) the race IS the synchronization: benign by construction.
+            addr_race_on_flag = any(
+                f.addr in flag_addrs
+                and {dep.producer_seq, dep.consumer_seq} & {f.set_seq, f.exit_seq}
+                for f in self.flag_syncs
+            )
+            if addr_race_on_flag:
+                result.filtered_flag_accesses.append(
+                    RaceReport(dep, filtered="benign synchronization race (flag)")
+                )
+                continue
+            # (b) ordered through a recognized flag synchronization.
+            order = self._flag_orders(first, second)
+            if order is not None:
+                result.filtered_by_flag_ordering.append(
+                    RaceReport(
+                        dep,
+                        filtered=f"ordered by flag sync on addr {order.addr}",
+                    )
+                )
+                continue
+            result.reported.append(report)
+        return result

@@ -1,0 +1,27 @@
+"""Execution reduction for long-running multithreaded programs (§2.2):
+checkpointing & logging, deterministic replay, relevance analysis."""
+
+from .analysis import ExecutionReducer, ReductionOutcome, ReductionPlan
+from .logging import (
+    Checkpoint,
+    CheckpointingLogger,
+    EventLog,
+    InputEvent,
+    LoggerCosts,
+    SyncEvent,
+)
+from .replay import Replayer, ReplayOutcome
+
+__all__ = [
+    "ExecutionReducer",
+    "ReductionOutcome",
+    "ReductionPlan",
+    "Checkpoint",
+    "CheckpointingLogger",
+    "EventLog",
+    "InputEvent",
+    "LoggerCosts",
+    "SyncEvent",
+    "Replayer",
+    "ReplayOutcome",
+]

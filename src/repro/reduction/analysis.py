@@ -1,0 +1,146 @@
+"""Execution reduction (§2.2): find the small, relevant part of a long
+multithreaded execution and replay only that with tracing on.
+
+Given the replay log of a failing run, the reducer
+
+1. picks the **latest checkpoint** before the failure (temporal
+   reduction: everything earlier is summarized by the snapshot),
+2. computes the **relevant thread set** by closing over the logged
+   inter-thread interactions after that checkpoint (spawn ancestry,
+   join targets, shared locks/barriers) starting from the failing
+   thread (thread reduction), and
+3. replays only the relevant threads' schedule segments from the
+   checkpoint with fine-grained tracing attached, **verifying** that
+   the failure still reproduces; if dropping threads perturbed the
+   execution, it falls back to replaying all threads in the window.
+
+The outcome carries the numbers the MySQL case study reports: original
+vs logged vs traced-full vs traced-reduced cost, and full vs reduced
+dynamic-dependence counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.program import Program
+from ..ontrac.tracer import OnlineTracer, OntracConfig
+from .logging import EventLog
+from .replay import Replayer, ReplayOutcome
+
+
+@dataclass
+class ReductionPlan:
+    checkpoint_index: int
+    checkpoint_seq: int
+    include_tids: set[int]
+    window_segments: int
+
+
+@dataclass
+class ReductionOutcome:
+    plan: ReductionPlan
+    replay: ReplayOutcome
+    tracer: OnlineTracer
+    fell_back_to_all_threads: bool
+    total_instructions: int  # whole original execution
+
+    @property
+    def replayed_fraction(self) -> float:
+        if self.total_instructions == 0:
+            return 0.0
+        return self.replay.replayed_instructions / self.total_instructions
+
+    @property
+    def traced_dependences(self) -> int:
+        return self.tracer.dependence_graph().edge_count
+
+
+class ExecutionReducer:
+    def __init__(self, program: Program, log: EventLog):
+        if log.failure_seq < 0:
+            raise ValueError("the logged run did not fail; nothing to reduce")
+        self.program = program
+        self.log = log
+        self.replayer = Replayer(program, log)
+
+    # -- analysis ----------------------------------------------------------
+    def relevant_threads(self, from_seq: int) -> set[int]:
+        """Close over logged inter-thread interactions in
+        ``[from_seq, failure_seq]`` starting from the failing thread."""
+        window = [
+            e for e in self.log.syncs if from_seq <= e.seq <= self.log.failure_seq
+        ]
+        relevant = {self.log.failure_tid, 0}  # thread 0 drives the program
+        changed = True
+        while changed:
+            changed = False
+            # shared locks / barriers
+            touched: dict[tuple[str, int], set[int]] = {}
+            for e in window:
+                if e.kind in ("lock", "unlock", "barrier"):
+                    touched.setdefault((e.kind if e.kind == "barrier" else "lock", e.obj),
+                                       set()).add(e.tid)
+            for tids in touched.values():
+                if tids & relevant and not tids <= relevant:
+                    relevant |= tids
+                    changed = True
+            # spawn ancestry: a relevant thread's spawner is relevant
+            for e in window:
+                if e.kind == "spawn" and e.obj in relevant and e.tid not in relevant:
+                    relevant.add(e.tid)
+                    changed = True
+        return relevant
+
+    def plan(self, back_checkpoints: int = 0) -> ReductionPlan:
+        """Pick the replay window.
+
+        ``back_checkpoints`` widens the window by that many checkpoint
+        intervals — useful when the fault's *origin* (e.g. a memory
+        corruption) precedes its *detection* and the slice from the
+        minimal window comes back truncated.
+        """
+        checkpoint = self.log.last_checkpoint_before(self.log.failure_seq)
+        assert checkpoint is not None  # checkpoint 0 always exists
+        index = max(0, checkpoint.index - back_checkpoints)
+        checkpoint = self.log.checkpoints[index]
+        include = self.relevant_threads(checkpoint.seq)
+        window = len(self.log.schedule) - checkpoint.segment_index
+        return ReductionPlan(
+            checkpoint_index=checkpoint.index,
+            checkpoint_seq=checkpoint.seq,
+            include_tids=include,
+            window_segments=window,
+        )
+
+    # -- execution ------------------------------------------------------------
+    def reduce_and_trace(
+        self, trace_config: OntracConfig | None = None, back_checkpoints: int = 0
+    ) -> ReductionOutcome:
+        """Replay the relevant region with ONTRAC attached."""
+        plan = self.plan(back_checkpoints=back_checkpoints)
+        checkpoint = self.log.checkpoints[plan.checkpoint_index]
+        trace_config = trace_config or OntracConfig()
+
+        tracer = OnlineTracer(self.program, trace_config)
+        outcome = self.replayer.replay(
+            checkpoint=checkpoint,
+            include_tids=plan.include_tids,
+            hooks=(tracer,),
+        )
+        fell_back = False
+        if not outcome.reproduced_failure:
+            # Thread reduction perturbed the execution: replay the whole
+            # window (temporal reduction alone is still a large win).
+            fell_back = True
+            tracer = OnlineTracer(self.program, trace_config)
+            outcome = self.replayer.replay(
+                checkpoint=checkpoint, include_tids=None, hooks=(tracer,)
+            )
+        return ReductionOutcome(
+            plan=plan,
+            replay=outcome,
+            tracer=tracer,
+            fell_back_to_all_threads=fell_back,
+            total_instructions=self.log.final_seq,
+        )

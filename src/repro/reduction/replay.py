@@ -1,0 +1,84 @@
+"""Deterministic replay from checkpoints.
+
+Replaying a logged execution = restore a checkpoint snapshot, install a
+:class:`~repro.vm.scheduler.ScriptedScheduler` with the schedule-segment
+suffix, and run.  Because the VM is deterministic modulo scheduling and
+inputs (both captured in the log / snapshot), the replay is
+bit-identical — which is what lets fine-grained tracing be turned on
+*only* during replay (§2.2's replay phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.program import Program
+from ..vm.events import Hook
+from ..vm.machine import Machine, RunResult
+from ..vm.scheduler import ScriptedScheduler
+from ..vm.snapshot import restore_snapshot
+from .logging import Checkpoint, EventLog
+
+
+@dataclass
+class ReplayOutcome:
+    machine: Machine
+    result: RunResult
+    replayed_instructions: int
+    reproduced_failure: bool
+
+
+class Replayer:
+    """Replays (suffixes of) one logged execution of ``program``."""
+
+    def __init__(self, program: Program, log: EventLog):
+        self.program = program
+        self.log = log
+
+    def _segments_after(
+        self, checkpoint: Checkpoint, include_tids: set[int] | None
+    ) -> list[tuple[int, int]]:
+        segments = self.log.schedule[checkpoint.segment_index :]
+        if include_tids is None:
+            return list(segments)
+        return [(tid, n) for tid, n in segments if tid in include_tids]
+
+    def replay(
+        self,
+        checkpoint: Checkpoint | None = None,
+        include_tids: set[int] | None = None,
+        hooks: tuple[Hook, ...] = (),
+        max_instructions: int = 50_000_000,
+    ) -> ReplayOutcome:
+        """Replay from ``checkpoint`` (default: the initial one).
+
+        ``include_tids`` restricts the replayed schedule to those
+        threads (execution reduction); hooks (e.g. an ONTRAC tracer)
+        observe only the replayed region.
+        """
+        if checkpoint is None:
+            checkpoint = self.log.checkpoints[0]
+        machine = Machine(self.program)
+        restore_snapshot(machine, checkpoint.snapshot)
+        machine.scheduler = ScriptedScheduler(
+            self._segments_after(checkpoint, include_tids)
+        )
+        for hook in hooks:
+            attach = getattr(hook, "attach", None)
+            if callable(attach):
+                attach(machine)  # tool hooks bind the machine for overhead accounting
+            else:
+                machine.hooks.subscribe(hook)
+        start_seq = machine.seq
+        result = machine.run(max_instructions=max_instructions)
+        reproduced = (
+            result.failed
+            and result.failure is not None
+            and result.failure.kind == self.log.failure_kind
+        )
+        return ReplayOutcome(
+            machine=machine,
+            result=result,
+            replayed_instructions=machine.seq - start_seq,
+            reproduced_failure=reproduced,
+        )

@@ -1,0 +1,72 @@
+"""Reproducible program runs.
+
+Almost every technique in this repo re-executes the same program under
+different instrumentation or perturbation: dynamic slicing traces a
+failing run, predicate switching re-runs it with a branch flipped,
+value replacement re-runs it with a value rewritten, fault avoidance
+re-runs it under a different schedule.  :class:`ProgramRunner` packages
+(program, inputs, arguments, scheduler recipe) so each re-execution is
+bit-identical except for the requested perturbation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .isa.program import Program
+from .vm.events import Hook
+from .vm.machine import Intervention, Machine, RunResult
+from .vm.scheduler import RoundRobinScheduler, Scheduler
+
+
+@dataclass
+class ProgramRunner:
+    """A reproducible run recipe."""
+
+    program: Program
+    inputs: dict[int, list[int]] = field(default_factory=dict)
+    args: tuple[int, ...] = ()
+    #: fresh-scheduler factory; defaults to deterministic round-robin.
+    scheduler_factory: Callable[[], Scheduler] | None = None
+    max_instructions: int = 10_000_000
+
+    def machine(self) -> Machine:
+        scheduler = self.scheduler_factory() if self.scheduler_factory else RoundRobinScheduler()
+        m = Machine(self.program, scheduler=scheduler, args=self.args)
+        for channel, values in self.inputs.items():
+            m.io.provide(channel, list(values))
+        return m
+
+    def run(
+        self,
+        hooks: tuple[Hook, ...] = (),
+        intervention: Intervention | None = None,
+    ) -> tuple[Machine, RunResult]:
+        """Execute once; returns the machine (for outputs/state) and result."""
+        m = self.machine()
+        for hook in hooks:
+            m.hooks.subscribe(hook)
+        if intervention is not None:
+            m.intervention = intervention
+        result = m.run(max_instructions=self.max_instructions)
+        return m, result
+
+    def run_traced(self, config=None):
+        """Execute under ONTRAC; returns (machine, tracer, result)."""
+        from .ontrac.tracer import OnlineTracer
+
+        m = self.machine()
+        tracer = OnlineTracer(self.program, config).attach(m)
+        result = m.run(max_instructions=self.max_instructions)
+        return m, tracer, result
+
+    def with_inputs(self, inputs: dict[int, list[int]]) -> "ProgramRunner":
+        """A copy of this recipe with different inputs."""
+        return ProgramRunner(
+            program=self.program,
+            inputs={k: list(v) for k, v in inputs.items()},
+            args=self.args,
+            scheduler_factory=self.scheduler_factory,
+            max_instructions=self.max_instructions,
+        )

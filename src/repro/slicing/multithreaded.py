@@ -1,0 +1,61 @@
+"""Multithreaded dynamic slicing (§3.1).
+
+The paper extends dynamic slicing to multithreaded programs "in a way
+that incorporates write-after-read and write-after-write dependences so
+that data races can be detected using dynamic slicing" [8].  ONTRAC
+records cross-thread WAR/WAW edges when ``record_war_waw`` is enabled;
+this module provides the slice variants that follow them and small
+queries over the cross-thread structure that the race detector
+(:mod:`repro.races`) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ontrac.ddg import DynamicDependenceGraph
+from ..ontrac.records import DepKind
+from .slicer import MULTITHREADED_KINDS, DynamicSlice, backward_slice
+
+
+def multithreaded_backward_slice(
+    ddg: DynamicDependenceGraph, criterion: int
+) -> DynamicSlice:
+    """Backward slice following data, control, WAR and WAW dependences."""
+    return backward_slice(ddg, criterion, kinds=MULTITHREADED_KINDS)
+
+
+@dataclass(frozen=True)
+class CrossThreadDependence:
+    """One dependence whose endpoints run on different threads."""
+
+    kind: DepKind
+    consumer_seq: int
+    consumer_pc: int
+    consumer_tid: int
+    producer_seq: int
+    producer_pc: int
+    producer_tid: int
+
+
+def cross_thread_dependences(ddg: DynamicDependenceGraph) -> list[CrossThreadDependence]:
+    """All dependences connecting two threads (RAW/WAR/WAW on shared
+    memory) — the raw material for race detection."""
+    found: list[CrossThreadDependence] = []
+    for consumer, edges in ddg.backward.items():
+        ctid = ddg.nodes[consumer].tid
+        for producer, kind in edges:
+            ptid = ddg.nodes[producer].tid
+            if ptid != ctid and kind in (DepKind.MEM, DepKind.WAR, DepKind.WAW):
+                found.append(
+                    CrossThreadDependence(
+                        kind=kind,
+                        consumer_seq=consumer,
+                        consumer_pc=ddg.nodes[consumer].pc,
+                        consumer_tid=ctid,
+                        producer_seq=producer,
+                        producer_pc=ddg.nodes[producer].pc,
+                        producer_tid=ptid,
+                    )
+                )
+    return sorted(found, key=lambda d: d.consumer_seq)

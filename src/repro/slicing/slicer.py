@@ -1,0 +1,124 @@
+"""Backward and forward dynamic slicing over the DDG.
+
+A dynamic slice is the transitive closure of data (and optionally
+control) dependences from a slicing criterion — a dynamic instruction
+instance, usually the instruction that produced a wrong value or the
+failure point.  Slices computed from a circular-buffer DDG are
+truncated at the history window's edge; :attr:`DynamicSlice.truncated`
+reports when that happened, because it means the root cause may predate
+the window (the paper's motivation for maximizing window length).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..ontrac.ddg import DynamicDependenceGraph
+from ..ontrac.records import DepKind
+
+#: dependence kinds followed by ordinary (data+control) slicing.
+#: IREG/IMEM are the zero-cost statically-recoverable edges the
+#: optimized tracer materializes instead of storing bytes for.
+DATA_KINDS = frozenset(
+    {DepKind.REG, DepKind.MEM, DepKind.IREG, DepKind.IMEM, DepKind.SUMMARY}
+)
+DEFAULT_KINDS = DATA_KINDS | {DepKind.CONTROL}
+#: extension for multithreaded slicing / race detection (§3.1).
+MULTITHREADED_KINDS = DEFAULT_KINDS | {DepKind.WAR, DepKind.WAW}
+
+
+@dataclass
+class DynamicSlice:
+    """Result of a slicing query."""
+
+    criterion: int
+    #: dynamic instances in the slice (includes the criterion).
+    seqs: set[int] = field(default_factory=set)
+    #: static instructions (pcs) covered by those instances.
+    pcs: set[int] = field(default_factory=set)
+    #: True when the closure touched the edge of a truncated DDG.
+    truncated: bool = False
+
+    def __contains__(self, seq: int) -> bool:
+        return seq in self.seqs
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+    def statement_lines(self, compiled) -> set[int]:
+        """Map slice pcs to MiniC source lines via a CompiledProgram."""
+        return {compiled.line_of(pc) for pc in self.pcs if compiled.line_of(pc)}
+
+
+def backward_slice(
+    ddg: DynamicDependenceGraph,
+    criterion: int,
+    kinds: frozenset[DepKind] = DEFAULT_KINDS,
+) -> DynamicSlice:
+    """Transitive closure of ``kinds`` dependences ending at ``criterion``."""
+    if criterion not in ddg.nodes:
+        raise KeyError(f"criterion seq {criterion} is not in the DDG (outside the window?)")
+    result = DynamicSlice(criterion=criterion)
+    queue = deque([criterion])
+    seen = {criterion}
+    while queue:
+        seq = queue.popleft()
+        result.seqs.add(seq)
+        result.pcs.add(ddg.pc_of(seq))
+        edges = ddg.backward.get(seq)
+        if edges is None:
+            # A node with no recorded producers: either genuinely
+            # input/constant-defined, or its producers were evicted.
+            if not ddg.complete:
+                result.truncated = True
+            continue
+        for producer, kind in edges:
+            if kind in kinds and producer not in seen:
+                seen.add(producer)
+                queue.append(producer)
+    return result
+
+
+def forward_slice(
+    ddg: DynamicDependenceGraph,
+    criterion: int,
+    kinds: frozenset[DepKind] = DEFAULT_KINDS,
+) -> DynamicSlice:
+    """Everything (transitively) affected by ``criterion``."""
+    if criterion not in ddg.nodes:
+        raise KeyError(f"criterion seq {criterion} is not in the DDG")
+    result = DynamicSlice(criterion=criterion)
+    queue = deque([criterion])
+    seen = {criterion}
+    while queue:
+        seq = queue.popleft()
+        result.seqs.add(seq)
+        result.pcs.add(ddg.pc_of(seq))
+        for consumer, kind in ddg.forward.get(seq, []):
+            if kind in kinds and consumer not in seen:
+                seen.add(consumer)
+                queue.append(consumer)
+    return result
+
+
+def slice_at_last_output(ddg: DynamicDependenceGraph, out_pc: int, **kw) -> DynamicSlice:
+    """Backward slice at the last dynamic instance of static pc ``out_pc``."""
+    seq = ddg.last_instance_of_pc(out_pc)
+    if seq is None:
+        raise KeyError(f"pc {out_pc} never executed within the window")
+    return backward_slice(ddg, seq, **kw)
+
+
+def chop(
+    ddg: DynamicDependenceGraph,
+    source: int,
+    sink: int,
+    kinds: frozenset[DepKind] = DEFAULT_KINDS,
+) -> set[int]:
+    """Failure-inducing chop ([1]): nodes on some dependence path from
+    ``source`` to ``sink`` — the intersection of the source's forward
+    slice with the sink's backward slice."""
+    fwd = forward_slice(ddg, source, kinds=kinds)
+    bwd = backward_slice(ddg, sink, kinds=kinds)
+    return fwd.seqs & bwd.seqs

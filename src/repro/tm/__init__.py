@@ -1,0 +1,19 @@
+"""TM-based runtime monitoring of parallel applications (§2.2, [9]):
+operation model, software-TM simulation, naive vs synchronization-aware
+conflict resolution."""
+
+from .ops import SYNC_KINDS, Op, OpKind, ParallelWorkload, ThreadProgram
+from .stm import Resolution, TMConfig, TMResult, TransactionalMonitor, unmonitored_cycles
+
+__all__ = [
+    "SYNC_KINDS",
+    "Op",
+    "OpKind",
+    "ParallelWorkload",
+    "ThreadProgram",
+    "Resolution",
+    "TMConfig",
+    "TMResult",
+    "TransactionalMonitor",
+    "unmonitored_cycles",
+]

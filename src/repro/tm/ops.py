@@ -1,0 +1,103 @@
+"""Operation-level workload model for the TM monitoring study (§2.2,
+citing [9] "Synchronization Aware Conflict Resolution for Runtime
+Monitoring Using Transactional Memory").
+
+The problem [9] studies is orthogonal to instruction semantics: when a
+DBT tool monitors a *parallel* application, every application write and
+its shadow-metadata write must be atomic, or the metadata races.  TM
+supplies that atomicity — but synchronization idioms (locks, barriers,
+flag spins) executing *inside* transactions livelock under naive
+conflict resolution.
+
+We therefore model threads as streams of synchronization-level
+operations rather than mini-ISA instructions (DESIGN.md documents this
+substitution): READ/WRITE on shared cells (each implicitly paired with
+its metadata update), LOCAL compute, and the three synchronization
+idioms from the paper — LOCK/UNLOCK, BARRIER, FLAG_SET/FLAG_WAIT.
+:mod:`repro.workloads.splash_like` generates SPLASH-style kernels in
+this vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    READ = "read"  # shared read (+ metadata read)
+    WRITE = "write"  # shared write (+ metadata write)
+    LOCAL = "local"  # private compute, no shared accesses
+    LOCK = "lock"
+    UNLOCK = "unlock"
+    BARRIER = "barrier"
+    FLAG_SET = "flag_set"  # write 1 to a flag cell
+    FLAG_WAIT = "flag_wait"  # spin until the flag cell is non-zero
+
+
+SYNC_KINDS = frozenset(
+    {OpKind.LOCK, OpKind.UNLOCK, OpKind.BARRIER, OpKind.FLAG_SET, OpKind.FLAG_WAIT}
+)
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: OpKind
+    #: cell address / lock id / barrier id / flag address.
+    target: int = 0
+    #: LOCAL compute amount (cycles).
+    cost: int = 1
+
+    @classmethod
+    def read(cls, addr: int) -> "Op":
+        return cls(OpKind.READ, addr)
+
+    @classmethod
+    def write(cls, addr: int) -> "Op":
+        return cls(OpKind.WRITE, addr)
+
+    @classmethod
+    def local(cls, cost: int = 1) -> "Op":
+        return cls(OpKind.LOCAL, 0, cost)
+
+    @classmethod
+    def lock(cls, lock_id: int) -> "Op":
+        return cls(OpKind.LOCK, lock_id)
+
+    @classmethod
+    def unlock(cls, lock_id: int) -> "Op":
+        return cls(OpKind.UNLOCK, lock_id)
+
+    @classmethod
+    def barrier(cls, barrier_id: int) -> "Op":
+        return cls(OpKind.BARRIER, barrier_id)
+
+    @classmethod
+    def flag_set(cls, addr: int) -> "Op":
+        return cls(OpKind.FLAG_SET, addr)
+
+    @classmethod
+    def flag_wait(cls, addr: int) -> "Op":
+        return cls(OpKind.FLAG_WAIT, addr)
+
+
+@dataclass
+class ThreadProgram:
+    """One thread's operation stream."""
+
+    tid: int
+    ops: list[Op]
+
+
+@dataclass
+class ParallelWorkload:
+    """A named multi-thread op-stream kernel."""
+
+    name: str
+    threads: list[ThreadProgram]
+    #: barrier id -> party count.
+    barriers: dict[int, int]
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(t.ops) for t in self.threads)

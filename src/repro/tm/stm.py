@@ -1,0 +1,396 @@
+"""Software-TM simulation of monitored parallel execution (§2.2, [9]).
+
+Every application data access of a monitored thread is paired with a
+DBT metadata access; TM makes the pair atomic by running each thread's
+accesses inside transactions (``txn_ops`` accesses per transaction,
+lazily versioned: writes buffer until commit, conflicts detected
+eagerly against other threads' open read/write sets).
+
+Two conflict-resolution policies:
+
+* ``naive`` — the requesting transaction always aborts and retries,
+  and synchronization operations execute *inside* transactions.  A
+  thread spinning on a flag holds the flag in its open read set
+  forever, so the setter can never commit (flag livelock); a thread
+  blocked at a barrier mid-transaction holds its write set, so peers
+  that must touch those cells to reach the barrier abort forever
+  (barrier livelock).
+* ``sync_aware`` — the monitor dynamically *detects* synchronization
+  (explicit lock/barrier ops, plus spin loops recognized after
+  ``spin_threshold`` repeated same-cell reads with an unchanged value)
+  and uses it in resolution: transactions commit before detected sync
+  operations, detected spin reads execute non-transactionally, and
+  conflicts against a thread blocked at a sync abort the blocked
+  thread instead of the requester.
+
+The simulator is deterministic (round-robin, one operation per step)
+and reports commits, aborts, wasted work, livelock, and monitoring
+overhead versus an unmonitored run of the same workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .ops import SYNC_KINDS, Op, OpKind, ParallelWorkload
+
+
+class Resolution(enum.Enum):
+    NAIVE = "naive"
+    SYNC_AWARE = "sync_aware"
+
+
+@dataclass
+class TMConfig:
+    resolution: Resolution = Resolution.NAIVE
+    txn_ops: int = 16  # accesses per transaction
+    spin_threshold: int = 5  # repeated reads before a spin is recognized
+    max_steps: int = 200_000
+    no_progress_limit: int = 2_000  # steps without any position advancing
+    # cost model (cycles)
+    txn_begin_cycles: int = 8
+    txn_commit_cycles: int = 12
+    metadata_cycles: int = 2  # per monitored access
+    abort_penalty_cycles: int = 20
+
+
+@dataclass
+class _Txn:
+    start_pos: int
+    reads: set[int] = field(default_factory=set)
+    writes: dict[int, int] = field(default_factory=dict)  # buffered
+    ops_done: int = 0
+    #: barrier ids this txn arrived at (rolled back on abort).
+    arrivals: list[int] = field(default_factory=list)
+    locks: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _Thread:
+    tid: int
+    ops: list[Op]
+    pos: int = 0
+    txn: _Txn | None = None
+    blocked: str = ""
+    aborts: int = 0
+    consecutive_aborts: int = 0
+    committed_ops: int = 0
+    wasted_ops: int = 0
+    #: (addr -> consecutive same-value reads) for spin detection.
+    spin_counts: dict[int, int] = field(default_factory=dict)
+    spin_values: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.ops)
+
+
+@dataclass
+class TMResult:
+    workload: str
+    resolution: str
+    completed: bool
+    livelock: bool
+    steps: int
+    commits: int
+    aborts: int
+    wasted_ops: int
+    base_cycles: int
+    monitored_cycles: int
+    detected_spins: int
+    detected_syncs: int
+
+    @property
+    def overhead(self) -> float:
+        if self.base_cycles == 0:
+            return 0.0
+        return self.monitored_cycles / self.base_cycles - 1.0
+
+
+def unmonitored_cycles(workload: ParallelWorkload) -> int:
+    """Cost of the workload with no monitoring (every op once)."""
+    return sum(op.cost for t in workload.threads for op in t.ops)
+
+
+class TransactionalMonitor:
+    """Simulates one monitored execution of a :class:`ParallelWorkload`."""
+
+    def __init__(self, workload: ParallelWorkload, config: TMConfig | None = None):
+        self.workload = workload
+        self.config = config or TMConfig()
+        self.memory: dict[int, int] = {}
+        self.lock_owner: dict[int, int | None] = {}
+        self.barrier_arrived: dict[int, set[int]] = {b: set() for b in workload.barriers}
+        self.threads = [_Thread(t.tid, t.ops) for t in workload.threads]
+        self.steps = 0
+        self.commits = 0
+        self.aborts = 0
+        self.cycles = 0
+        self.detected_spins = 0
+        self.detected_syncs = 0
+        self._progress_stamp = 0
+        self._last_positions: list[int] = []
+
+    # -- public -----------------------------------------------------------
+    def run(self) -> TMResult:
+        cfg = self.config
+        livelock = False
+        while self.steps < cfg.max_steps:
+            if all(t.done for t in self.threads):
+                break
+            progressed = False
+            for thread in self.threads:
+                if thread.done:
+                    continue
+                before = (thread.pos, thread.txn.ops_done if thread.txn else -1)
+                self._step(thread)
+                self.steps += 1
+                if thread.done and thread.txn is not None:
+                    self._commit(thread)  # end of stream flushes buffered writes
+                after = (thread.pos, thread.txn.ops_done if thread.txn else -1)
+                if after != before:
+                    progressed = True
+            if progressed:
+                self._progress_stamp = self.steps
+            elif self.steps - self._progress_stamp > cfg.no_progress_limit:
+                livelock = True
+                break
+        else:
+            livelock = True  # step budget exhausted without completing
+        completed = all(t.done for t in self.threads)
+        return TMResult(
+            workload=self.workload.name,
+            resolution=cfg.resolution.value,
+            completed=completed,
+            livelock=livelock and not completed,
+            steps=self.steps,
+            commits=self.commits,
+            aborts=self.aborts,
+            wasted_ops=sum(t.wasted_ops for t in self.threads),
+            base_cycles=unmonitored_cycles(self.workload),
+            monitored_cycles=self.cycles,
+            detected_spins=self.detected_spins,
+            detected_syncs=self.detected_syncs,
+        )
+
+    # -- core step --------------------------------------------------------------
+    def _step(self, thread: _Thread) -> None:
+        cfg = self.config
+        op = thread.ops[thread.pos]
+        sync_aware = cfg.resolution is Resolution.SYNC_AWARE
+
+        if sync_aware and op.kind in SYNC_KINDS and thread.txn is not None:
+            # Detected synchronization: commit before executing it.
+            self.detected_syncs += 1
+            self._commit(thread)
+
+        if op.kind is OpKind.LOCAL:
+            self.cycles += op.cost
+            thread.pos += 1
+            return
+        if op.kind is OpKind.LOCK:
+            self._do_lock(thread, op)
+            return
+        if op.kind is OpKind.UNLOCK:
+            self._do_unlock(thread, op)
+            return
+        if op.kind is OpKind.BARRIER:
+            self._do_barrier(thread, op)
+            return
+        if op.kind is OpKind.FLAG_SET:
+            self._transactional_write(thread, op.target, 1, op)
+            return
+        if op.kind is OpKind.FLAG_WAIT:
+            self._do_flag_wait(thread, op)
+            return
+        if op.kind is OpKind.READ:
+            self._transactional_read(thread, op.target, op)
+            return
+        if op.kind is OpKind.WRITE:
+            self._transactional_write(thread, op.target, thread.pos, op)
+            return
+        raise AssertionError(f"unhandled op {op}")  # pragma: no cover
+
+    # -- transactions -------------------------------------------------------------
+    def _ensure_txn(self, thread: _Thread) -> _Txn:
+        if thread.txn is None:
+            thread.txn = _Txn(start_pos=thread.pos)
+            self.cycles += self.config.txn_begin_cycles
+        return thread.txn
+
+    def _commit(self, thread: _Thread) -> None:
+        txn = thread.txn
+        if txn is None:
+            return
+        self.memory.update(txn.writes)
+        thread.committed_ops += txn.ops_done
+        thread.consecutive_aborts = 0
+        thread.txn = None
+        self.commits += 1
+        self.cycles += self.config.txn_commit_cycles
+
+    def _abort(self, thread: _Thread) -> None:
+        txn = thread.txn
+        assert txn is not None
+        thread.wasted_ops += thread.pos - txn.start_pos
+        thread.pos = txn.start_pos
+        for barrier_id in txn.arrivals:
+            self.barrier_arrived[barrier_id].discard(thread.tid)
+        for lock_id in txn.locks:
+            if self.lock_owner.get(lock_id) == thread.tid:
+                self.lock_owner[lock_id] = None
+        thread.txn = None
+        thread.blocked = ""
+        thread.aborts += 1
+        thread.consecutive_aborts += 1
+        self.aborts += 1
+        self.cycles += self.config.abort_penalty_cycles
+
+    def _finish_access(self, thread: _Thread, op: Op) -> None:
+        txn = thread.txn
+        assert txn is not None
+        txn.ops_done += 1
+        self.cycles += op.cost + self.config.metadata_cycles
+        thread.pos += 1
+        if txn.ops_done >= self.config.txn_ops:
+            self._commit(thread)
+
+    def _conflicts(self, requester: _Thread, addr: int, is_write: bool) -> _Thread | None:
+        """The open transaction (not the requester's) this access conflicts
+        with, if any: write vs read/write, read vs write."""
+        for other in self.threads:
+            if other.tid == requester.tid or other.txn is None:
+                continue
+            txn = other.txn
+            if is_write and (addr in txn.reads or addr in txn.writes):
+                return other
+            if not is_write and addr in txn.writes:
+                return other
+        return None
+
+    def _resolve(self, requester: _Thread, holder: _Thread, addr: int) -> bool:
+        """Resolve a conflict; returns True if the requester may proceed."""
+        if self.config.resolution is Resolution.SYNC_AWARE:
+            holder_spinning = holder.spin_counts.get(addr, 0) >= self.config.spin_threshold
+            if holder_spinning or holder.blocked:
+                # The holder is synchronizing: abort it, not the requester.
+                self._abort(holder)
+                return True
+        self._abort_requester(requester)
+        return False
+
+    def _abort_requester(self, requester: _Thread) -> None:
+        if requester.txn is not None:
+            self._abort(requester)
+        else:
+            # Conflict on the first access of a would-be transaction.
+            requester.aborts += 1
+            requester.consecutive_aborts += 1
+            self.aborts += 1
+            self.cycles += self.config.abort_penalty_cycles
+
+    def _transactional_read(self, thread: _Thread, addr: int, op: Op) -> None:
+        holder = self._conflicts(thread, addr, is_write=False)
+        if holder is not None and not self._resolve(thread, holder, addr):
+            return
+        txn = self._ensure_txn(thread)
+        txn.reads.add(addr)
+        value = txn.writes.get(addr, self.memory.get(addr, 0))
+        self._track_spin(thread, addr, value)
+        self._finish_access(thread, op)
+
+    def _transactional_write(self, thread: _Thread, addr: int, value: int, op: Op) -> None:
+        holder = self._conflicts(thread, addr, is_write=True)
+        if holder is not None and not self._resolve(thread, holder, addr):
+            return
+        txn = self._ensure_txn(thread)
+        txn.writes[addr] = value
+        self._finish_access(thread, op)
+
+    def _track_spin(self, thread: _Thread, addr: int, value: int) -> None:
+        if thread.spin_values.get(addr) == value:
+            thread.spin_counts[addr] = thread.spin_counts.get(addr, 0) + 1
+            if thread.spin_counts[addr] == self.config.spin_threshold:
+                self.detected_spins += 1
+        else:
+            thread.spin_values[addr] = value
+            thread.spin_counts[addr] = 0
+
+    # -- synchronization operations --------------------------------------------------
+    def _do_lock(self, thread: _Thread, op: Op) -> None:
+        owner = self.lock_owner.get(op.target)
+        if owner is None:
+            self.lock_owner[op.target] = thread.tid
+            if thread.txn is not None:
+                thread.txn.locks.append(op.target)
+            thread.blocked = ""
+            self.cycles += op.cost
+            thread.pos += 1
+        else:
+            thread.blocked = f"lock {op.target}"
+            self.cycles += 1
+
+    def _do_unlock(self, thread: _Thread, op: Op) -> None:
+        self.lock_owner[op.target] = None
+        if thread.txn is not None and op.target in thread.txn.locks:
+            thread.txn.locks.remove(op.target)
+        self.cycles += op.cost
+        thread.pos += 1
+
+    def _do_barrier(self, thread: _Thread, op: Op) -> None:
+        arrived = self.barrier_arrived.setdefault(op.target, set())
+        parties = self.workload.barriers.get(op.target, len(self.threads))
+        if thread.tid not in arrived:
+            arrived.add(thread.tid)
+            if thread.txn is not None:
+                thread.txn.arrivals.append(op.target)
+        if len(arrived) >= parties:
+            arrived.clear()
+            # Release everyone blocked on this barrier (including self).
+            for other in self.threads:
+                if other.blocked == f"barrier {op.target}":
+                    other.blocked = ""
+                    other.pos += 1
+                    self.cycles += 1
+            thread.blocked = ""
+            thread.pos += 1
+            self.cycles += op.cost
+        else:
+            thread.blocked = f"barrier {op.target}"
+            self.cycles += 1
+
+    def _do_flag_wait(self, thread: _Thread, op: Op) -> None:
+        """A flag wait is just a read in a loop — the monitor does not
+        know it is synchronization unless the spin detector says so."""
+        cfg = self.config
+        spinning = thread.spin_counts.get(op.target, 0) >= cfg.spin_threshold
+        if cfg.resolution is Resolution.SYNC_AWARE and spinning:
+            # Detected spin: read non-transactionally (commit first so the
+            # flag leaves our read set and the setter can make progress).
+            if thread.txn is not None:
+                self._commit(thread)
+            value = self.memory.get(op.target, 0)
+            self.cycles += op.cost
+            self._track_spin(thread, op.target, value)
+            if value != 0:
+                thread.pos += 1
+                thread.spin_counts[op.target] = 0
+            return
+        holder = self._conflicts(thread, op.target, is_write=False)
+        if holder is not None and not self._resolve(thread, holder, op.target):
+            return
+        txn = self._ensure_txn(thread)
+        txn.reads.add(op.target)
+        value = txn.writes.get(op.target, self.memory.get(op.target, 0))
+        self._track_spin(thread, op.target, value)
+        txn.ops_done += 1
+        self.cycles += op.cost + cfg.metadata_cycles
+        if value != 0:
+            thread.pos += 1
+            thread.spin_counts[op.target] = 0
+        if txn.ops_done >= cfg.txn_ops and value != 0:
+            self._commit(thread)
+        # NOTE (naive policy): while the flag stays 0 the transaction
+        # keeps the flag in its read set and never reaches a commit
+        # point that releases it — the livelock of §2.2.

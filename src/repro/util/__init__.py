@@ -1,0 +1,6 @@
+"""Shared utilities: deterministic RNG, table formatting."""
+
+from .rng import DeterministicRng
+from .tables import format_table
+
+__all__ = ["DeterministicRng", "format_table"]

@@ -1,0 +1,39 @@
+"""Deterministic random number generation for workload builders.
+
+A tiny linear-congruential generator (Numerical Recipes constants) so
+workloads are reproducible across Python versions without depending on
+``random``'s implementation details.
+"""
+
+from __future__ import annotations
+
+
+class DeterministicRng:
+    """LCG with explicit state; same seed -> same stream, forever."""
+
+    _A = 1664525
+    _C = 1013904223
+    _M = 1 << 32
+
+    def __init__(self, seed: int = 1):
+        self.state = seed & (self._M - 1)
+
+    def next_u32(self) -> int:
+        self.state = (self._A * self.state + self._C) % self._M
+        return self.state
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] (inclusive)."""
+        if hi < lo:
+            raise ValueError("empty range")
+        return lo + self.next_u32() % (hi - lo + 1)
+
+    def choice(self, items):
+        return items[self.next_u32() % len(items)]
+
+    def shuffle(self, items: list) -> list:
+        """In-place Fisher-Yates; returns the list for chaining."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_u32() % (i + 1)
+            items[i], items[j] = items[j], items[i]
+        return items

@@ -1,0 +1,29 @@
+"""ASCII table formatting for experiment harness output."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

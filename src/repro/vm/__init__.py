@@ -1,0 +1,67 @@
+"""Virtual machine substrate: interpreter, memory, threads, hooks.
+
+The VM plays the role of the processor + DBT framework the paper's
+tools are built on.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from .cost import DEFAULT_COSTS, CostModel, CycleCounters
+from .errors import (
+    AttackDetected,
+    DeadlockError,
+    FailureInfo,
+    ProgramFailure,
+    ReplayDivergenceError,
+    VMError,
+)
+from .events import Hook, HookBus, InstrEvent
+from .io import EOF, NETWORK, STDERR, STDIN, STDOUT, IOSystem
+from .machine import Intervention, Machine, RunResult, RunStatus
+from .memory import GLOBAL_BASE, HEAP_BASE, NULL, STACK_BASE, STACK_SIZE, Memory, stack_top
+from .scheduler import RandomScheduler, RoundRobinScheduler, Scheduler, ScriptedScheduler
+from .snapshot import Snapshot, restore_snapshot, take_snapshot
+from .sync import Barrier, Mutex
+from .threads import Frame, ThreadContext, ThreadStatus
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "CostModel",
+    "CycleCounters",
+    "AttackDetected",
+    "DeadlockError",
+    "FailureInfo",
+    "ProgramFailure",
+    "ReplayDivergenceError",
+    "VMError",
+    "Hook",
+    "HookBus",
+    "InstrEvent",
+    "EOF",
+    "NETWORK",
+    "STDERR",
+    "STDIN",
+    "STDOUT",
+    "IOSystem",
+    "Intervention",
+    "Machine",
+    "RunResult",
+    "RunStatus",
+    "GLOBAL_BASE",
+    "HEAP_BASE",
+    "NULL",
+    "STACK_BASE",
+    "STACK_SIZE",
+    "Memory",
+    "stack_top",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "ScriptedScheduler",
+    "Snapshot",
+    "restore_snapshot",
+    "take_snapshot",
+    "Barrier",
+    "Mutex",
+    "Frame",
+    "ThreadContext",
+    "ThreadStatus",
+]

@@ -1,0 +1,85 @@
+"""Deterministic cycle cost model.
+
+The paper's headline numbers are *ratios* measured on 2008 hardware
+(19x vs 540x tracing slowdown, 48% multicore DIFT overhead, <40x
+lineage slowdown).  Re-measuring absolute wall-clock on a Python
+interpreter would say nothing about those ratios, so the experiments
+report both real wall-clock (via pytest-benchmark) and a deterministic
+cycle model: every executed opcode contributes base cycles, and every
+piece of tool machinery (instrumentation stubs, dependence-record
+writes, log appends, checkpoint copies) adds overhead cycles through
+:meth:`repro.vm.machine.Machine.add_overhead`.
+
+The per-event tool costs live with the tools (e.g.
+``repro.ontrac.tracer``) — this module only prices the *guest*
+instructions.  Costs are loosely modeled on a simple in-order core:
+ALU 1, memory 3, divide 12, syscall-ish operations tens of cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instructions import Opcode
+
+DEFAULT_COSTS: dict[Opcode, int] = {
+    Opcode.MUL: 3,
+    Opcode.MULI: 3,
+    Opcode.DIV: 12,
+    Opcode.MOD: 12,
+    Opcode.LOAD: 3,
+    Opcode.STORE: 3,
+    Opcode.PUSH: 3,
+    Opcode.POP: 3,
+    Opcode.ALLOC: 40,
+    Opcode.FREE: 20,
+    Opcode.CALL: 2,
+    Opcode.ICALL: 3,
+    Opcode.RET: 2,
+    Opcode.IN: 25,
+    Opcode.OUT: 25,
+    Opcode.SPAWN: 200,
+    Opcode.JOIN: 50,
+    Opcode.LOCK: 15,
+    Opcode.UNLOCK: 15,
+    Opcode.BARINIT: 10,
+    Opcode.BARWAIT: 20,
+}
+
+
+@dataclass
+class CostModel:
+    """Maps opcodes to cycle costs; unlisted opcodes cost ``default``."""
+
+    costs: dict[Opcode, int] = field(default_factory=lambda: dict(DEFAULT_COSTS))
+    default: int = 1
+
+    def cost(self, opcode: Opcode) -> int:
+        return self.costs.get(opcode, self.default)
+
+    def table(self) -> list[int]:
+        """Dense opcode-indexed cost array for the interpreter hot path."""
+        size = max(int(op) for op in Opcode) + 1
+        dense = [self.default] * size
+        for op, c in self.costs.items():
+            dense[int(op)] = c
+        return dense
+
+
+@dataclass
+class CycleCounters:
+    """Base vs tool-overhead cycle accounting for one run."""
+
+    base: int = 0
+    overhead: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.base + self.overhead
+
+    @property
+    def slowdown(self) -> float:
+        """(base + overhead) / base — 1.0 means no tool cost."""
+        if self.base == 0:
+            return 1.0
+        return self.total / self.base

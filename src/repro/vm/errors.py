@@ -1,0 +1,77 @@
+"""Exception hierarchy for the virtual machine.
+
+Two families matter to the tools built on top:
+
+* :class:`VMError` — the *simulator* was misused (bad program, replay
+  divergence).  These indicate bugs in the caller, never in the guest.
+* :class:`ProgramFailure` — the *guest program* failed (assertion,
+  division by zero, wild indirect call, explicit ``fail``).  The
+  debugging/fault-location applications treat these as the observable
+  failures they must explain, so failures carry the faulting thread and
+  program counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class VMError(Exception):
+    """Host-level error: malformed guest program or harness misuse."""
+
+
+class ReplayDivergenceError(VMError):
+    """A scripted replay asked for a thread that cannot run.
+
+    Raised when an event log is replayed against a program whose
+    execution no longer matches the recorded schedule — the execution
+    reduction machinery treats this as a hard error.
+    """
+
+
+class DeadlockError(VMError):
+    """All live threads are blocked on locks/joins/barriers."""
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = blocked
+        detail = ", ".join(f"t{tid}: {why}" for tid, why in sorted(blocked.items()))
+        super().__init__(f"deadlock: {detail}")
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Where and why the guest failed; attached to run results."""
+
+    kind: str  # "assert" | "div_zero" | "bad_icall" | "fail" | "bad_free" | ...
+    tid: int
+    pc: int
+    seq: int  # dynamic instruction count at failure
+    message: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind} at pc={self.pc} (thread {self.tid}, seq {self.seq}): {self.message}"
+
+
+class ProgramFailure(Exception):
+    """The guest program failed; the machine converts this to a
+    ``FAILED`` run status carrying :class:`FailureInfo`."""
+
+    def __init__(self, kind: str, message: str = ""):
+        super().__init__(f"{kind}: {message}" if message else kind)
+        self.kind = kind
+        self.message = message
+
+
+class AttackDetected(ProgramFailure):
+    """Raised by DIFT security policies when tainted data reaches a sink.
+
+    Subclasses :class:`ProgramFailure` so the machine halts the guest the
+    same way a hardware DIFT trap would, but remains distinguishable so
+    harnesses can tell "attack stopped by DIFT" from "program crashed".
+    """
+
+    def __init__(self, message: str = "", culprit_pc: int = -1):
+        super().__init__("attack_detected", message)
+        #: PC-taint payload: the most recent instruction that wrote the
+        #: offending value (the paper's root-cause hint), -1 if unknown.
+        self.culprit_pc = culprit_pc

@@ -1,0 +1,78 @@
+"""Guest I/O channels — the DIFT taint sources and program outputs.
+
+Channels are numbered; ``in rd, <chan>`` pops the next value from an
+input channel (returning :data:`EOF` when exhausted) and
+``out rs, <chan>`` appends to an output channel.  The DIFT engine taints
+every value produced by ``in``; fault-location compares output channels
+against expected output; the server workload models network requests as
+an input channel.
+
+Reads are recorded as ``(seq, channel, value)`` so the
+checkpointing/logging layer can replay inputs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+EOF = -1
+
+#: Conventional channel numbers used by the workloads.
+STDIN = 0
+STDOUT = 1
+STDERR = 2
+NETWORK = 3
+
+
+@dataclass
+class IOSystem:
+    """All input/output channels of one machine."""
+
+    inputs: dict[int, list[int]] = field(default_factory=dict)
+    #: read cursor per input channel.
+    cursors: dict[int, int] = field(default_factory=dict)
+    outputs: dict[int, list[int]] = field(default_factory=dict)
+    #: ordered trace of reads: (dynamic seq, channel, value, input index).
+    read_log: list[tuple[int, int, int, int]] = field(default_factory=list)
+
+    def provide(self, channel: int, values: list[int]) -> None:
+        """Append ``values`` to an input channel before/while running."""
+        self.inputs.setdefault(channel, []).extend(values)
+
+    def provide_text(self, channel: int, text: str) -> None:
+        """Convenience: one cell per character code."""
+        self.provide(channel, [ord(c) for c in text])
+
+    def read(self, channel: int, seq: int) -> tuple[int, int]:
+        """Next value from ``channel`` -> (value, input_index).
+
+        ``input_index`` is the global position of the value within the
+        channel, the identity the lineage policy tracks; EOF reads get
+        index -1.
+        """
+        data = self.inputs.get(channel)
+        cursor = self.cursors.get(channel, 0)
+        if data is None or cursor >= len(data):
+            self.read_log.append((seq, channel, EOF, -1))
+            return EOF, -1
+        value = data[cursor]
+        self.cursors[channel] = cursor + 1
+        self.read_log.append((seq, channel, value, cursor))
+        return value, cursor
+
+    def write(self, channel: int, value: int) -> None:
+        self.outputs.setdefault(channel, []).append(value)
+
+    def output(self, channel: int = STDOUT) -> list[int]:
+        return list(self.outputs.get(channel, []))
+
+    def output_text(self, channel: int = STDOUT) -> str:
+        return "".join(chr(v) for v in self.output(channel) if 0 <= v < 0x110000)
+
+    def clone(self) -> "IOSystem":
+        return IOSystem(
+            inputs={k: list(v) for k, v in self.inputs.items()},
+            cursors=dict(self.cursors),
+            outputs={k: list(v) for k, v in self.outputs.items()},
+            read_log=list(self.read_log),
+        )

@@ -1,0 +1,130 @@
+"""Flat guest memory with a heap allocator.
+
+The address space is a sparse map of integer cells (one "word" per
+address; unwritten cells read as zero).  Layout::
+
+    0                  null (never allocated)
+    GLOBAL_BASE ..     globals (compiler-assigned)
+    STACK_BASE ..      per-thread stacks, STACK_SIZE cells each, grow DOWN
+    HEAP_BASE ..       heap, bump-allocated, grows UP
+
+Deliberately, there is **no bounds checking on loads and stores**: a
+guest that writes past the end of a heap block silently corrupts the
+next block, exactly like the C programs the paper instruments.  That is
+the substrate for the heap-overflow attack and fault-avoidance
+workloads.  ``free`` of a non-block address does trap (like a hardened
+allocator), giving failures something to surface on.
+
+The allocator keeps per-block metadata (base -> size) so that
+fault-avoidance can re-run with padded allocations and so tests can
+assert adjacency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ProgramFailure
+
+NULL = 0
+GLOBAL_BASE = 1_024
+STACK_BASE = 65_536
+STACK_SIZE = 4_096
+MAX_THREADS = 64
+HEAP_BASE = STACK_BASE + STACK_SIZE * MAX_THREADS  # 327_680
+
+
+def stack_top(tid: int) -> int:
+    """Initial ``sp`` for thread ``tid`` (exclusive top; stack grows down)."""
+    if tid >= MAX_THREADS:
+        raise ProgramFailure("too_many_threads", f"tid {tid} >= {MAX_THREADS}")
+    return STACK_BASE + (tid + 1) * STACK_SIZE
+
+
+@dataclass
+class Memory:
+    """Sparse word-addressed memory plus heap allocator state."""
+
+    cells: dict[int, int] = field(default_factory=dict)
+    heap_next: int = HEAP_BASE
+    #: live allocations: base address -> size in cells.
+    allocations: dict[int, int] = field(default_factory=dict)
+    #: exact-size free lists: size -> stack of bases (LIFO reuse).
+    free_lists: dict[int, list[int]] = field(default_factory=dict)
+    #: extra cells added to every allocation (fault-avoidance padding).
+    alloc_padding: int = 0
+    #: counters for reports.
+    total_allocs: int = 0
+    total_frees: int = 0
+
+    # -- data access ---------------------------------------------------
+    def load(self, addr: int) -> int:
+        return self.cells.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.cells[addr] = value
+
+    def load_range(self, addr: int, count: int) -> list[int]:
+        get = self.cells.get
+        return [get(addr + i, 0) for i in range(count)]
+
+    def store_range(self, addr: int, values: list[int]) -> None:
+        for i, v in enumerate(values):
+            self.cells[addr + i] = v
+
+    # -- heap ----------------------------------------------------------
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` cells; returns the base address.
+
+        Reuses an exact-size freed block when available (LIFO), else
+        bump-allocates — consecutive fresh allocations are therefore
+        adjacent, which the overflow workloads depend on.
+        """
+        if size <= 0:
+            raise ProgramFailure("bad_alloc", f"allocation size {size}")
+        size = size + self.alloc_padding
+        bucket = self.free_lists.get(size)
+        if bucket:
+            base = bucket.pop()
+        else:
+            base = self.heap_next
+            self.heap_next += size
+        self.allocations[base] = size
+        self.total_allocs += 1
+        return base
+
+    def free(self, base: int) -> None:
+        size = self.allocations.pop(base, None)
+        if size is None:
+            raise ProgramFailure("bad_free", f"free of non-block address {base}")
+        self.free_lists.setdefault(size, []).append(base)
+        self.total_frees += 1
+
+    def block_of(self, addr: int) -> tuple[int, int] | None:
+        """(base, size) of the live allocation containing ``addr``, if any.
+
+        Linear in live allocations; used by analyses and detectors, not
+        by the interpreter hot path.
+        """
+        for base, size in self.allocations.items():
+            if base <= addr < base + size:
+                return base, size
+        return None
+
+    # -- snapshot support -----------------------------------------------
+    def clone(self) -> "Memory":
+        m = Memory(
+            cells=dict(self.cells),
+            heap_next=self.heap_next,
+            allocations=dict(self.allocations),
+            free_lists={k: list(v) for k, v in self.free_lists.items()},
+            alloc_padding=self.alloc_padding,
+            total_allocs=self.total_allocs,
+            total_frees=self.total_frees,
+        )
+        return m
+
+    @property
+    def footprint(self) -> int:
+        """Number of distinct cells ever written (memory usage proxy)."""
+        return len(self.cells)

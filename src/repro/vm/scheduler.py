@@ -1,0 +1,120 @@
+"""Deterministic thread schedulers.
+
+The machine is single-stepping and cooperative: after every quantum the
+scheduler picks the next runnable thread.  Three policies cover the
+reproduction's needs:
+
+* :class:`RoundRobinScheduler` — fixed quantum, rotating order; the
+  default for tests.
+* :class:`RandomScheduler` — seeded pseudo-random picks and quantum
+  jitter; used to explore interleavings (atomicity-violation bugs
+  manifest under some seeds and not others, which is exactly the
+  non-determinism §2.2 motivates logging with).
+* :class:`ScriptedScheduler` — replays an explicit list of
+  ``(tid, count)`` segments, the machinery behind deterministic replay
+  and execution reduction; diverging from the script raises
+  :class:`repro.vm.errors.ReplayDivergenceError`.
+
+All policies are pure functions of their own state — the machine never
+consults wall-clock or OS threads, so runs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .errors import ReplayDivergenceError
+
+
+class Scheduler:
+    """Scheduling policy interface."""
+
+    def pick(self, runnable: list[int], current: int | None) -> tuple[int, int]:
+        """Choose ``(tid, quantum)`` among ``runnable`` (sorted, non-empty)."""
+        raise NotImplementedError
+
+    def fork(self) -> "Scheduler":
+        """Independent copy with identical future behaviour (snapshots)."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(Scheduler):
+    """Rotate through runnable threads with a fixed quantum."""
+
+    def __init__(self, quantum: int = 50):
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.quantum = quantum
+        self._last: int | None = None
+
+    def pick(self, runnable: list[int], current: int | None) -> tuple[int, int]:
+        last = self._last if self._last is not None else -1
+        after = [t for t in runnable if t > last]
+        tid = after[0] if after else runnable[0]
+        self._last = tid
+        return tid, self.quantum
+
+    def fork(self) -> "RoundRobinScheduler":
+        s = RoundRobinScheduler(self.quantum)
+        s._last = self._last
+        return s
+
+
+class RandomScheduler(Scheduler):
+    """Seeded random thread choice with quantum jitter."""
+
+    def __init__(self, seed: int = 0, min_quantum: int = 10, max_quantum: int = 100):
+        if not 1 <= min_quantum <= max_quantum:
+            raise ValueError("need 1 <= min_quantum <= max_quantum")
+        self.seed = seed
+        self.min_quantum = min_quantum
+        self.max_quantum = max_quantum
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: list[int], current: int | None) -> tuple[int, int]:
+        tid = self._rng.choice(runnable)
+        quantum = self._rng.randint(self.min_quantum, self.max_quantum)
+        return tid, quantum
+
+    def fork(self) -> "RandomScheduler":
+        s = RandomScheduler(self.seed, self.min_quantum, self.max_quantum)
+        s._rng.setstate(self._rng.getstate())
+        return s
+
+
+class ScriptedScheduler(Scheduler):
+    """Replay an explicit schedule of ``(tid, instruction count)`` segments.
+
+    When the script is exhausted the scheduler falls back to round-robin
+    (``tail_quantum``), which execution reduction uses to run a replayed
+    region past the end of the recorded window.
+    """
+
+    def __init__(self, segments: list[tuple[int, int]], tail_quantum: int = 50):
+        self.segments = list(segments)
+        self.tail_quantum = tail_quantum
+        self._pos = 0
+        self._tail = RoundRobinScheduler(tail_quantum)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self.segments)
+
+    def pick(self, runnable: list[int], current: int | None) -> tuple[int, int]:
+        while self._pos < len(self.segments):
+            tid, count = self.segments[self._pos]
+            self._pos += 1
+            if count <= 0:
+                continue
+            if tid not in runnable:
+                raise ReplayDivergenceError(
+                    f"replay schedule wants thread {tid} but runnable={runnable}"
+                )
+            return tid, count
+        return self._tail.pick(runnable, current)
+
+    def fork(self) -> "ScriptedScheduler":
+        s = ScriptedScheduler(self.segments, self.tail_quantum)
+        s._pos = self._pos
+        s._tail = self._tail.fork()
+        return s

@@ -1,0 +1,86 @@
+"""Guest synchronization objects: mutexes and barriers.
+
+Lock/unlock and barrier arrival order is fully deterministic (FIFO
+queues), so two runs with the same scheduler produce identical
+acquisition orders — the property that makes the checkpoint/replay layer
+able to reproduce multithreaded executions from a schedule log alone.
+
+Flag synchronization (one thread spinning on a shared memory cell
+another thread sets) intentionally has *no* VM object: it is written in
+guest code with plain loads/stores, so the TM monitor's dynamic
+synchronization detector has a realistic pattern to discover (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ProgramFailure
+
+
+@dataclass
+class Mutex:
+    lock_id: int
+    owner: int | None = None
+    waiters: list[int] = field(default_factory=list)
+    #: total acquisitions, for contention reports.
+    acquisitions: int = 0
+
+    def try_acquire(self, tid: int) -> bool:
+        if self.owner is None:
+            self.owner = tid
+            self.acquisitions += 1
+            return True
+        if self.owner == tid:
+            raise ProgramFailure("relock", f"thread {tid} re-locks lock {self.lock_id}")
+        if tid not in self.waiters:
+            self.waiters.append(tid)
+        return False
+
+    def release(self, tid: int) -> int | None:
+        """Release; returns the tid to wake (new front waiter), if any."""
+        if self.owner != tid:
+            raise ProgramFailure(
+                "bad_unlock", f"thread {tid} unlocks lock {self.lock_id} owned by {self.owner}"
+            )
+        self.owner = None
+        if self.waiters:
+            return self.waiters.pop(0)
+        return None
+
+    def clone(self) -> "Mutex":
+        return Mutex(self.lock_id, self.owner, list(self.waiters), self.acquisitions)
+
+
+@dataclass
+class Barrier:
+    barrier_id: int
+    parties: int
+    arrived: list[int] = field(default_factory=list)
+    #: threads released by the last trip that have not yet passed through.
+    released: set[int] = field(default_factory=set)
+    generation: int = 0
+
+    def arrive(self, tid: int) -> list[int] | None:
+        """Thread arrives; returns the full release list when it trips."""
+        if tid in self.released:
+            # Passing through after a wake; caller advances the thread.
+            self.released.discard(tid)
+            return None
+        if tid in self.arrived:
+            raise ProgramFailure(
+                "barrier_reentry", f"thread {tid} re-arrives at barrier {self.barrier_id}"
+            )
+        self.arrived.append(tid)
+        if len(self.arrived) >= self.parties:
+            release = list(self.arrived)
+            self.arrived = []
+            self.generation += 1
+            self.released.update(release)
+            return release
+        return None
+
+    def clone(self) -> "Barrier":
+        return Barrier(
+            self.barrier_id, self.parties, list(self.arrived), set(self.released), self.generation
+        )

@@ -1,0 +1,85 @@
+"""Guest thread contexts.
+
+Each thread has its own register file (registers are per-thread,
+caller-save by convention — the compiler saves live temporaries around
+calls, so argument/return flows pass through r0..r3 and spills pass
+through memory, both visible to DIFT) and a VM-managed return-address
+stack.  Keeping return addresses out of guest memory is a deliberate
+simplification: the attack workloads use heap function-pointer
+corruption (``icall``) as their control-hijack primitive instead of
+return-address smashing, exercising the same DIFT detection path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..isa.instructions import NUM_REGS, SP
+from .memory import stack_top
+
+
+class ThreadStatus(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class Frame:
+    """One call-stack entry: where to resume in the caller."""
+
+    return_pc: int
+    function: str  # callee name, for diagnostics
+
+
+@dataclass
+class ThreadContext:
+    tid: int
+    pc: int
+    regs: list[int]
+    frames: list[Frame] = field(default_factory=list)
+    status: ThreadStatus = ThreadStatus.READY
+    #: human-readable reason while BLOCKED ("lock 3", "join 2", ...).
+    blocked_on: str = ""
+    #: r0 at thread exit.
+    result: int = 0
+    #: instructions this thread has executed (for per-thread stats).
+    instructions: int = 0
+
+    @classmethod
+    def create(cls, tid: int, entry_pc: int, args: tuple[int, ...] = ()) -> "ThreadContext":
+        regs = [0] * NUM_REGS
+        for i, a in enumerate(args[:4]):
+            regs[i] = a
+        regs[SP] = stack_top(tid)
+        return cls(tid=tid, pc=entry_pc, regs=regs)
+
+    @property
+    def runnable(self) -> bool:
+        return self.status is ThreadStatus.READY
+
+    @property
+    def done(self) -> bool:
+        return self.status is ThreadStatus.DONE
+
+    def block(self, reason: str) -> None:
+        self.status = ThreadStatus.BLOCKED
+        self.blocked_on = reason
+
+    def wake(self) -> None:
+        self.status = ThreadStatus.READY
+        self.blocked_on = ""
+
+    def clone(self) -> "ThreadContext":
+        t = ThreadContext(
+            tid=self.tid,
+            pc=self.pc,
+            regs=list(self.regs),
+            frames=[Frame(f.return_pc, f.function) for f in self.frames],
+            status=self.status,
+            blocked_on=self.blocked_on,
+            result=self.result,
+            instructions=self.instructions,
+        )
+        return t

@@ -1,0 +1,66 @@
+"""Synthetic workload corpora standing in for the paper's benchmarks
+(SPEC 2000, MySQL, SPLASH-2, scientific pipelines) — see DESIGN.md §2
+for the substitution table."""
+
+from .buggy import BuggyProgram, by_category, corpus
+from .generators import GeneratedProgram, GeneratorConfig, ProgramGenerator, generate
+from .scientific import (
+    cumulative_sum,
+    LineageWorkload,
+    block_select,
+    lineage_suite,
+    moving_average,
+    scatter_pick,
+    stencil_chain,
+)
+from .server import ServerScenario, build_server
+from .spec_like import Workload, bfs, fsm, hashloop, matmul, rle, sort, suite
+from .splash_like import (
+    RaceKernel,
+    barrier_stencil,
+    flag_pipeline,
+    flag_sync_kernel,
+    lock_reduction,
+    locked_counter_kernel,
+    mixed_kernel,
+    race_kernels,
+    tm_kernels,
+    true_race_kernel,
+)
+
+__all__ = [
+    "BuggyProgram",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "ProgramGenerator",
+    "generate",
+    "by_category",
+    "corpus",
+    "LineageWorkload",
+    "cumulative_sum",
+    "block_select",
+    "lineage_suite",
+    "moving_average",
+    "scatter_pick",
+    "stencil_chain",
+    "ServerScenario",
+    "build_server",
+    "Workload",
+    "bfs",
+    "fsm",
+    "hashloop",
+    "matmul",
+    "rle",
+    "sort",
+    "suite",
+    "RaceKernel",
+    "barrier_stencil",
+    "flag_pipeline",
+    "flag_sync_kernel",
+    "lock_reduction",
+    "locked_counter_kernel",
+    "mixed_kernel",
+    "race_kernels",
+    "tm_kernels",
+    "true_race_kernel",
+]

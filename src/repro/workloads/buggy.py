@@ -1,0 +1,321 @@
+"""Seeded-bug corpus for the debugging applications (§3.1, §3.2).
+
+Every entry carries both the buggy and the *fixed* source, failing and
+passing inputs, and the bug's source line(s), so experiments can score
+techniques against ground truth: does the slice / ranking / candidate
+set contain the bug line, and how much else?
+
+Categories map to the paper's studies:
+
+* ``value``     — wrong operator/constant/variable; targets for
+  slicing-based location (E7 baseline) and value replacement (E8);
+* ``omission``  — execution-omission errors (too-strict predicates);
+  targets for predicate switching (E7);
+* ``atomicity`` / ``overflow`` / ``malformed`` — the three environment
+  fault classes of §3.2's fault-avoidance study (E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lang.codegen import CompiledProgram, compile_source
+from ..runner import ProgramRunner
+from ..vm.machine import Machine
+from ..vm.scheduler import RandomScheduler, Scheduler
+
+
+@dataclass
+class BuggyProgram:
+    name: str
+    category: str  # "value" | "omission" | "atomicity" | "overflow" | "malformed"
+    source: str
+    fixed_source: str
+    failing_inputs: dict[int, list[int]]
+    passing_inputs: dict[int, list[int]]
+    #: 1-based source lines of the defect in ``source``.
+    bug_lines: set[int]
+    #: scheduler that exposes the bug (None = default round-robin).
+    scheduler_factory: Callable[[], Scheduler] | None = None
+    description: str = ""
+    _compiled: CompiledProgram | None = field(default=None, repr=False)
+    _fixed: CompiledProgram | None = field(default=None, repr=False)
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        if self._compiled is None:
+            self._compiled = compile_source(self.source)
+        return self._compiled
+
+    @property
+    def fixed_compiled(self) -> CompiledProgram:
+        if self._fixed is None:
+            self._fixed = compile_source(self.fixed_source)
+        return self._fixed
+
+    def runner(self, failing: bool = True) -> ProgramRunner:
+        return ProgramRunner(
+            self.compiled.program,
+            inputs={
+                k: list(v)
+                for k, v in (self.failing_inputs if failing else self.passing_inputs).items()
+            },
+            scheduler_factory=self.scheduler_factory,
+            max_instructions=2_000_000,
+        )
+
+    def expected_output(self, channel: int = 1) -> list[int]:
+        """Oracle: what the *fixed* program emits on the failing inputs."""
+        m = Machine(self.fixed_compiled.program)
+        for chan, values in self.failing_inputs.items():
+            m.io.provide(chan, list(values))
+        m.run(max_instructions=2_000_000)
+        return m.io.output(channel)
+
+
+def wrong_operator() -> BuggyProgram:
+    buggy = (
+        "fn main() {\n"  # 1
+        "    var a = in(0);\n"  # 2
+        "    var b = in(0);\n"  # 3
+        "    var area = a + b;\n"  # 4  BUG: should be a * b
+        "    var perimeter = 2 * (a + b);\n"  # 5
+        "    out(area, 1);\n"  # 6
+        "    out(perimeter, 1);\n"  # 7
+        "}\n"
+    )
+    fixed = buggy.replace("var area = a + b;", "var area = a * b;")
+    return BuggyProgram(
+        name="wrong-operator",
+        category="value",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [6, 7]},
+        passing_inputs={0: [2, 2]},  # 2+2 == 2*2: the bug hides
+        bug_lines={4},
+        description="'+' where '*' was intended",
+    )
+
+
+def wrong_constant() -> BuggyProgram:
+    buggy = (
+        "fn main() {\n"  # 1
+        "    var n = in(0);\n"  # 2
+        "    var s = 0;\n"  # 3
+        "    var i = 1;\n"  # 4
+        "    while (i < n) {\n"  # 5  BUG: should be i <= n
+        "        s = s + i;\n"  # 6
+        "        i = i + 1;\n"  # 7
+        "    }\n"
+        "    out(s, 1);\n"  # 9
+        "}\n"
+    )
+    fixed = buggy.replace("while (i < n) {", "while (i <= n) {")
+    return BuggyProgram(
+        name="wrong-constant",
+        category="value",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [5]},
+        passing_inputs={0: [0]},
+        bug_lines={5},
+        description="off-by-one loop bound",
+    )
+
+
+def wrong_variable() -> BuggyProgram:
+    buggy = (
+        "fn main() {\n"  # 1
+        "    var width = in(0);\n"  # 2
+        "    var height = in(0);\n"  # 3
+        "    var depth = in(0);\n"  # 4
+        "    var face = width * height;\n"  # 5
+        "    var volume = face * height;\n"  # 6  BUG: should be face * depth
+        "    out(face, 1);\n"  # 7
+        "    out(volume, 1);\n"  # 8
+        "}\n"
+    )
+    fixed = buggy.replace("var volume = face * height;", "var volume = face * depth;")
+    return BuggyProgram(
+        name="wrong-variable",
+        category="value",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [3, 4, 5]},
+        passing_inputs={0: [3, 4, 4]},
+        bug_lines={6},
+        description="wrong variable used in computation",
+    )
+
+
+def omission_predicate() -> BuggyProgram:
+    buggy = (
+        "global result;\n"  # 1
+        "fn main() {\n"  # 2
+        "    var x = in(0);\n"  # 3
+        "    result = 10;\n"  # 4
+        "    if (x > 100) {\n"  # 5  BUG: should be x > 0
+        "        result = x * 2;\n"  # 6
+        "    }\n"
+        "    out(result, 1);\n"  # 8
+        "}\n"
+    )
+    fixed = buggy.replace("if (x > 100) {", "if (x > 0) {")
+    return BuggyProgram(
+        name="omission-predicate",
+        category="omission",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [7]},
+        passing_inputs={0: [200]},
+        bug_lines={5},
+        description="too-strict predicate omits a needed update",
+    )
+
+
+def omission_init() -> BuggyProgram:
+    buggy = (
+        "global table[8];\n"  # 1
+        "global ready;\n"  # 2
+        "fn init_table(base) {\n"  # 3
+        "    var i = 0;\n"  # 4
+        "    while (i < 8) { table[i] = base + i; i = i + 1; }\n"  # 5
+        "    ready = 1;\n"  # 6
+        "}\n"
+        "fn main() {\n"  # 8
+        "    var mode = in(0);\n"  # 9
+        "    if (mode == 2) {\n"  # 10  BUG: should be mode >= 1
+        "        init_table(100);\n"  # 11
+        "    }\n"
+        "    out(table[3], 1);\n"  # 13
+        "}\n"
+    )
+    fixed = buggy.replace("if (mode == 2) {", "if (mode >= 1) {")
+    return BuggyProgram(
+        name="omission-init",
+        category="omission",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [1]},
+        passing_inputs={0: [2]},
+        bug_lines={10},
+        description="initialization skipped for a valid mode",
+    )
+
+
+def atomicity_violation() -> BuggyProgram:
+    # Two workers do read-modify-write without the lock; under most
+    # fine-grained interleavings updates are lost and the final assert
+    # fails.  The fixed version takes the lock.
+    buggy = (
+        "global counter;\n"  # 1
+        "fn worker(n) {\n"  # 2
+        "    var i = 0;\n"  # 3
+        "    while (i < n) {\n"  # 4
+        "        var tmp = counter;\n"  # 5   BUG: unprotected read-modify-write
+        "        counter = tmp + 1;\n"  # 6   BUG (same violation)
+        "        i = i + 1;\n"  # 7
+        "    }\n"
+        "}\n"
+        "fn main() {\n"  # 10
+        "    var a = spawn(worker, 20);\n"  # 11
+        "    var b = spawn(worker, 20);\n"  # 12
+        "    join(a);\n"  # 13
+        "    join(b);\n"  # 14
+        "    assert(counter == 40);\n"  # 15
+        "    out(counter, 1);\n"  # 16
+        "}\n"
+    )
+    fixed = buggy.replace(
+        "        var tmp = counter;\n", "        lock(1);\n        var tmp = counter;\n"
+    ).replace(
+        "        counter = tmp + 1;\n", "        counter = tmp + 1;\n        unlock(1);\n"
+    )
+    return BuggyProgram(
+        name="atomicity-violation",
+        category="atomicity",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={},
+        passing_inputs={},
+        bug_lines={5, 6},
+        scheduler_factory=lambda: RandomScheduler(seed=3, min_quantum=1, max_quantum=3),
+        description="unprotected read-modify-write loses updates",
+    )
+
+
+def heap_overflow() -> BuggyProgram:
+    buggy = (
+        "fn main() {\n"  # 1
+        "    var n = in(0);\n"  # 2
+        "    var buf = alloc(4);\n"  # 3
+        "    var guard = alloc(1);\n"  # 4  adjacent to buf
+        "    guard[0] = 555;\n"  # 5
+        "    var i = 0;\n"  # 6
+        "    while (i <= n) {\n"  # 7  BUG: should be i < n (writes buf[4])
+        "        buf[i] = i * 7;\n"  # 8
+        "        i = i + 1;\n"  # 9
+        "    }\n"
+        "    assert(guard[0] == 555);\n"  # 11
+        "    out(buf[0] + buf[3], 1);\n"  # 12
+        "}\n"
+    )
+    fixed = buggy.replace("while (i <= n) {", "while (i < n) {")
+    return BuggyProgram(
+        name="heap-overflow",
+        category="overflow",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [4]},
+        passing_inputs={0: [3]},
+        bug_lines={7},
+        description="off-by-one heap write corrupts the adjacent block",
+    )
+
+
+def malformed_request() -> BuggyProgram:
+    buggy = (
+        "fn main() {\n"  # 1
+        "    var total = 0;\n"  # 2
+        "    while (1) {\n"  # 3
+        "        var req = in(0);\n"  # 4
+        "        if (req < 0) { break; }\n"  # 5
+        "        var parts = in(0);\n"  # 6
+        "        total = total + req / parts;\n"  # 7  BUG: no check parts != 0
+        "    }\n"
+        "    out(total, 1);\n"  # 9
+        "}\n"
+    )
+    fixed = buggy.replace(
+        "        total = total + req / parts;\n",
+        "        if (parts != 0) { total = total + req / parts; }\n",
+    )
+    return BuggyProgram(
+        name="malformed-request",
+        category="malformed",
+        source=buggy,
+        fixed_source=fixed,
+        failing_inputs={0: [10, 2, 30, 0, 40, 4, -1]},  # request 2 is malformed
+        passing_inputs={0: [10, 2, 30, 3, -1]},
+        bug_lines={7},
+        description="unvalidated request field used as divisor",
+    )
+
+
+def corpus() -> list[BuggyProgram]:
+    """The full seeded-bug corpus."""
+    return [
+        wrong_operator(),
+        wrong_constant(),
+        wrong_variable(),
+        omission_predicate(),
+        omission_init(),
+        atomicity_violation(),
+        heap_overflow(),
+        malformed_request(),
+    ]
+
+
+def by_category(category: str) -> list[BuggyProgram]:
+    return [b for b in corpus() if b.category == category]

@@ -1,0 +1,230 @@
+"""Scientific array pipelines for the lineage study (§3.4).
+
+[12] observes that real scientific lineage has two exploitable
+structures: lineage sets of co-resident values **overlap heavily**, and
+the inputs in a set are **clustered** (if input *i* contributes, its
+neighbours usually do too).  These kernels exhibit exactly that:
+
+* ``moving_average`` — each output depends on a contiguous window;
+* ``stencil_chain`` — repeated 3-point stencils grow contiguous
+  regions (strong overlap between neighbouring outputs);
+* ``block_select`` — outputs depend on whole blocks chosen by a
+  selector input (clustered but non-contiguous unions);
+* ``scatter_pick`` — an adversarial kernel whose outputs depend on
+  *scattered* individual inputs, included so the roBDD-vs-naive
+  comparison has a case where clustering does not help.
+
+Each builder returns the compiled program, its inputs, and a Python
+reference function computing the **expected lineage** (set of input
+indices) of every output, so the lineage tracer is tested against
+ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..lang.codegen import CompiledProgram, compile_source
+from ..runner import ProgramRunner
+
+
+@dataclass
+class LineageWorkload:
+    name: str
+    compiled: CompiledProgram
+    inputs: dict[int, list[int]]
+    #: expected lineage: output position -> set of input indices (chan 0).
+    expected_lineage: Callable[[int], set[int]]
+    n_outputs: int
+    description: str
+
+    def runner(self, max_instructions: int = 20_000_000) -> ProgramRunner:
+        return ProgramRunner(
+            self.compiled.program,
+            inputs={k: list(v) for k, v in self.inputs.items()},
+            max_instructions=max_instructions,
+        )
+
+
+def moving_average(n: int = 24, window: int = 4) -> LineageWorkload:
+    src = f"""
+    const N = {n};
+    const WIN = {window};
+    global buf[{n}];
+    fn main() {{
+        var i = 0;
+        while (i < N) {{ buf[i] = in(0); i = i + 1; }}
+        i = 0;
+        while (i + WIN <= N) {{
+            var s = 0;
+            var j = 0;
+            while (j < WIN) {{ s = s + buf[i + j]; j = j + 1; }}
+            out(s / WIN, 1);
+            i = i + 1;
+        }}
+    }}
+    """
+    values = [10 + 3 * i for i in range(n)]
+    return LineageWorkload(
+        name="moving-average",
+        compiled=compile_source(src),
+        inputs={0: values},
+        expected_lineage=lambda k: set(range(k, k + window)),
+        n_outputs=n - window + 1,
+        description=f"{window}-wide moving average over {n} inputs",
+    )
+
+
+def stencil_chain(n: int = 20, rounds: int = 3) -> LineageWorkload:
+    src = f"""
+    const N = {n};
+    const R = {rounds};
+    global a[{n}];
+    global b[{n}];
+    fn main() {{
+        var i = 0;
+        while (i < N) {{ a[i] = in(0); i = i + 1; }}
+        var r = 0;
+        while (r < R) {{
+            i = 0;
+            while (i < N) {{
+                var left = 0;
+                var right = 0;
+                if (i > 0) {{ left = a[i - 1]; }}
+                if (i < N - 1) {{ right = a[i + 1]; }}
+                b[i] = (left + a[i] + right) / 3;
+                i = i + 1;
+            }}
+            i = 0;
+            while (i < N) {{ a[i] = b[i]; i = i + 1; }}
+            r = r + 1;
+        }}
+        i = 0;
+        while (i < N) {{ out(a[i], 1); i = i + 1; }}
+    }}
+    """
+    values = [(i * 17 + 5) % 100 for i in range(n)]
+
+    def expected(k: int) -> set[int]:
+        return set(range(max(0, k - rounds), min(n, k + rounds + 1)))
+
+    return LineageWorkload(
+        name="stencil-chain",
+        compiled=compile_source(src),
+        inputs={0: values},
+        expected_lineage=expected,
+        n_outputs=n,
+        description=f"{rounds} rounds of 3-point stencil over {n} inputs",
+    )
+
+
+def block_select(blocks: int = 4, block_size: int = 8) -> LineageWorkload:
+    """Selector inputs (channel 3) pick which input blocks each output
+    aggregates — clustered, partially overlapping lineage."""
+    n = blocks * block_size
+    src = f"""
+    const B = {blocks};
+    const S = {block_size};
+    global buf[{n}];
+    fn main() {{
+        var i = 0;
+        while (i < B * S) {{ buf[i] = in(0); i = i + 1; }}
+        var q = 0;
+        while (q < B) {{
+            var sel = in(3) % B;
+            var s = 0;
+            var j = 0;
+            while (j < S) {{ s = s + buf[sel * S + j]; j = j + 1; }}
+            out(s, 1);
+            q = q + 1;
+        }}
+    }}
+    """
+    values = [i * 2 + 1 for i in range(n)]
+    selectors = [(3 * q + 1) % blocks for q in range(blocks)]
+
+    def expected(k: int) -> set[int]:
+        sel = selectors[k] % blocks
+        return set(range(sel * block_size, (sel + 1) * block_size))
+
+    return LineageWorkload(
+        name="block-select",
+        compiled=compile_source(src),
+        inputs={0: values, 3: selectors},
+        expected_lineage=expected,
+        n_outputs=blocks,
+        description=f"block aggregation with selector inputs ({blocks}x{block_size})",
+    )
+
+
+def scatter_pick(n: int = 32, picks: int = 8, stride: int = 11) -> LineageWorkload:
+    """Adversarial: each output depends on scattered single inputs."""
+    src = f"""
+    const N = {n};
+    const P = {picks};
+    const STRIDE = {stride};
+    global buf[{n}];
+    fn main() {{
+        var i = 0;
+        while (i < N) {{ buf[i] = in(0); i = i + 1; }}
+        var k = 0;
+        while (k < P) {{
+            out(buf[(k * STRIDE) % N], 1);
+            k = k + 1;
+        }}
+    }}
+    """
+    values = [i + 100 for i in range(n)]
+    return LineageWorkload(
+        name="scatter-pick",
+        compiled=compile_source(src),
+        inputs={0: values},
+        expected_lineage=lambda k: {(k * stride) % n},
+        n_outputs=picks,
+        description="scattered single-input dependences (anti-clustering)",
+    )
+
+
+def cumulative_sum(n: int = 200) -> LineageWorkload:
+    """Running sums kept resident: output k depends on inputs 0..k.
+
+    This is the regime §3.4 calls out ("lineage sets could be as large
+    as thousands of elements"): every resident prefix set overlaps all
+    shorter ones, which is where roBDD sharing decisively beats naive
+    per-value sets.
+    """
+    src = f"""
+    const N = {n};
+    global acc[{n}];
+    fn main() {{
+        var running = 0;
+        var i = 0;
+        while (i < N) {{
+            running = running + in(0);
+            acc[i] = running;
+            i = i + 1;
+        }}
+        i = 0;
+        while (i < N) {{ out(acc[i], 1); i = i + 1; }}
+    }}
+    """
+    values = [(i * 13 + 1) % 50 for i in range(n)]
+    return LineageWorkload(
+        name="cumulative-sum",
+        compiled=compile_source(src),
+        inputs={0: values},
+        expected_lineage=lambda k: set(range(0, k + 1)),
+        n_outputs=n,
+        description=f"resident prefix sums over {n} inputs (large overlapping sets)",
+    )
+
+
+def lineage_suite() -> list[LineageWorkload]:
+    return [
+        moving_average(),
+        stencil_chain(),
+        block_select(),
+        scatter_pick(),
+        cumulative_sum(),
+    ]

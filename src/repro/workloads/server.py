@@ -1,0 +1,192 @@
+"""The MySQL-stand-in: a long-running multithreaded request server with
+a seeded heap-corruption bug (§2.2's case study).
+
+Architecture (chosen so execution reduction has real structure to
+exploit):
+
+* ``main`` (thread 0) spawns ``workers`` worker threads, then reads
+  request quadruples ``(worker, op, a, b)`` from input channel 0 and
+  deposits them into per-worker mailboxes in global memory (single
+  producer / single consumer, no locks between workers);
+* each worker spins on its mailbox (flag-style synchronization), and
+  processes requests against its own heap-allocated table:
+
+  - ``op 1`` — put: ``tbl[a] = b``        (no bounds check: the bug)
+  - ``op 2`` — get: emits ``tbl[a & 7]``
+  - ``op 3`` — put+integrity-check: stores, then asserts the
+    worker's integrity word — a "malformed request" with ``a == 8``
+    overwrites that adjacent word and trips the assert, long after
+    start, in exactly one worker;
+  - ``op 0`` — shutdown.
+
+Workers allocate their table (8 cells) and integrity word (1 cell)
+back-to-back under a short-lived lock, so the bump allocator makes them
+adjacent — the same heap-layout assumption real heap-overflow bugs
+exploit.
+
+Because workers only interact with ``main`` (mailboxes) and never with
+each other, the reducer's relevant-thread analysis can drop every
+worker except the failing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.codegen import CompiledProgram, compile_source
+from ..runner import ProgramRunner
+from ..util.rng import DeterministicRng
+
+SERVER_TEMPLATE = """
+const W = {workers};
+const QCAP = {qcap};
+const BUSY = {busywork};
+
+global q[{qtotal}];
+global qhead[{workers}];
+global qtail[{workers}];
+global tids[{workers}];
+
+fn worker(wid) {{
+    lock(8);
+    var tbl = alloc(8);
+    var chk = alloc(1);
+    unlock(8);
+    chk[0] = 777;
+    var processed = 0;
+    while (1) {{
+        while (qtail[wid] == qhead[wid]) {{ }}
+        var base = wid * QCAP * 3 + qtail[wid] * 3;
+        var op = q[base];
+        var a = q[base + 1];
+        var b = q[base + 2];
+        qtail[wid] = qtail[wid] + 1;
+        if (op == 0) {{
+            free(tbl);
+            free(chk);
+            return processed;
+        }}
+        if (op == 1) {{
+            tbl[a] = b;                  // BUG: no bounds check on a
+        }}
+        if (op == 2) {{
+            out(tbl[a & 7], 1);
+        }}
+        if (op == 3) {{
+            tbl[a] = b;                  // BUG: no bounds check on a
+            assert(chk[0] == 777);       // integrity word corrupted => fail
+        }}
+        var j = 0;
+        var s = 0;
+        while (j < BUSY) {{ s = s + j * b; j = j + 1; }}
+        processed = processed + 1;
+    }}
+}}
+
+fn main() {{
+    var i = 0;
+    while (i < W) {{
+        tids[i] = spawn(worker, i);
+        i = i + 1;
+    }}
+    while (1) {{
+        var w = in(0);
+        if (w < 0) {{ break; }}
+        var op = in(0);
+        var a = in(0);
+        var b = in(0);
+        var base = w * QCAP * 3 + qhead[w] * 3;
+        q[base] = op;
+        q[base + 1] = a;
+        q[base + 2] = b;
+        qhead[w] = qhead[w] + 1;
+    }}
+    i = 0;
+    while (i < W) {{
+        var stop = i * QCAP * 3 + qhead[i] * 3;
+        q[stop] = 0;
+        qhead[i] = qhead[i] + 1;
+        i = i + 1;
+    }}
+    i = 0;
+    while (i < W) {{ join(tids[i]); i = i + 1; }}
+    out(424242, 1);
+}}
+"""
+
+
+@dataclass
+class ServerScenario:
+    compiled: CompiledProgram
+    requests: list[tuple[int, int, int, int]]  # (worker, op, a, b)
+    workers: int
+    #: index (into requests) of the malicious request, -1 if benign run.
+    attack_at: int
+    #: worker that will fail.
+    victim: int
+
+    @property
+    def inputs(self) -> dict[int, list[int]]:
+        stream: list[int] = []
+        for w, op, a, b in self.requests:
+            stream.extend((w, op, a, b))
+        stream.append(-1)
+        return {0: stream}
+
+    def runner(self, max_instructions: int = 30_000_000) -> ProgramRunner:
+        return ProgramRunner(
+            self.compiled.program, inputs=self.inputs, max_instructions=max_instructions
+        )
+
+
+def build_server(
+    workers: int = 3,
+    requests: int = 150,
+    busywork: int = 12,
+    seed: int = 1,
+    inject_failure: bool = True,
+    failure_position: float = 0.85,
+    check_gap: int = 8,
+) -> ServerScenario:
+    """Generate the server program plus a request schedule.
+
+    With ``inject_failure``, a malformed **put** near
+    ``failure_position`` (fraction of the schedule) carries an
+    out-of-range index and silently corrupts its worker's integrity
+    word; ``check_gap`` requests later, a benign put+check request to
+    the same worker trips the assertion — corruption and detection are
+    separated, as in real memory bugs, so the traced replay window has
+    a genuine dependence chain to expose.
+    """
+    rng = DeterministicRng(seed)
+    qcap = requests + 2  # no wraparound needed
+    src = SERVER_TEMPLATE.format(
+        workers=workers,
+        qcap=qcap,
+        qtotal=workers * qcap * 3,
+        busywork=busywork,
+    )
+    reqs: list[tuple[int, int, int, int]] = []
+    for i in range(requests):
+        w = rng.randint(0, workers - 1)
+        kind = rng.randint(1, 10)
+        if kind <= 6:
+            reqs.append((w, 1, rng.randint(0, 7), rng.randint(0, 999)))
+        else:
+            reqs.append((w, 2, rng.randint(0, 7), 0))
+    attack_at = -1
+    victim = -1
+    if inject_failure:
+        attack_at = min(requests - 1 - check_gap, int(requests * failure_position))
+        victim = rng.randint(0, workers - 1)
+        # the malformed request: put with index 8 (one past the end)
+        reqs[attack_at] = (victim, 1, 8, 0)
+        # a benign integrity-checking request, later, to the same worker
+        reqs[attack_at + check_gap] = (victim, 3, rng.randint(0, 7), rng.randint(0, 999))
+    return ServerScenario(
+        compiled=compile_source(src),
+        requests=reqs,
+        workers=workers,
+        attack_at=attack_at,
+        victim=victim,
+    )

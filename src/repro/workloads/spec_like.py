@@ -1,0 +1,249 @@
+"""CPU-intensive mini-benchmarks standing in for SPEC 2000 (§2.1).
+
+ONTRAC and the multicore DIFT experiments were evaluated on SPEC
+integer programs; what matters for tracing overhead is the *instruction
+mix* (ALU-heavy vs memory-heavy vs branchy), so each kernel here
+stresses a different mix.  All kernels read a seed/input from channel 0
+(so forward-slice-of-input filtering has real work to do) and emit a
+checksum on channel 1 (so every run is self-checking).
+
+Sizes are chosen so a full suite run stays in the hundreds of thousands
+of interpreted instructions — big enough for rates/ratios to stabilize,
+small enough for CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.codegen import CompiledProgram, compile_source
+from ..runner import ProgramRunner
+
+
+@dataclass
+class Workload:
+    """A compiled benchmark with its canonical inputs."""
+
+    name: str
+    compiled: CompiledProgram
+    inputs: dict[int, list[int]]
+    description: str
+
+    def runner(self, max_instructions: int = 20_000_000) -> ProgramRunner:
+        return ProgramRunner(
+            self.compiled.program,
+            inputs={k: list(v) for k, v in self.inputs.items()},
+            max_instructions=max_instructions,
+        )
+
+
+def matmul(n: int = 8) -> Workload:
+    """Dense matrix multiply: ALU + regular memory accesses."""
+    src = f"""
+    const N = {n};
+    global a[{n * n}];
+    global b[{n * n}];
+    global c[{n * n}];
+    fn main() {{
+        var seed = in(0);
+        var i = 0;
+        while (i < N * N) {{
+            seed = (seed * 1103515245 + 12345) % 65536;
+            a[i] = seed % 100;
+            seed = (seed * 1103515245 + 12345) % 65536;
+            b[i] = seed % 100;
+            i = i + 1;
+        }}
+        var r = 0;
+        while (r < N) {{
+            var col = 0;
+            while (col < N) {{
+                var s = 0;
+                var k = 0;
+                while (k < N) {{
+                    s = s + a[r * N + k] * b[k * N + col];
+                    k = k + 1;
+                }}
+                c[r * N + col] = s;
+                col = col + 1;
+            }}
+            r = r + 1;
+        }}
+        var sum = 0;
+        i = 0;
+        while (i < N * N) {{ sum = (sum + c[i]) % 1000003; i = i + 1; }}
+        out(sum, 1);
+    }}
+    """
+    return Workload("matmul", compile_source(src), {0: [42]}, "dense matrix multiply")
+
+
+def sort(n: int = 48) -> Workload:
+    """Insertion sort: branchy with data-dependent control flow."""
+    src = f"""
+    const N = {n};
+    global arr[{n}];
+    fn main() {{
+        var seed = in(0);
+        var i = 0;
+        while (i < N) {{
+            seed = (seed * 69069 + 1) % 65536;
+            arr[i] = seed % 1000;
+            i = i + 1;
+        }}
+        i = 1;
+        while (i < N) {{
+            var key = arr[i];
+            var j = i - 1;
+            while (j >= 0 && arr[j] > key) {{
+                arr[j + 1] = arr[j];
+                j = j - 1;
+            }}
+            arr[j + 1] = key;
+            i = i + 1;
+        }}
+        var ok = 1;
+        i = 1;
+        while (i < N) {{
+            if (arr[i - 1] > arr[i]) {{ ok = 0; }}
+            i = i + 1;
+        }}
+        assert(ok);
+        out(arr[0], 1);
+        out(arr[N - 1], 1);
+    }}
+    """
+    return Workload("sort", compile_source(src), {0: [7]}, "insertion sort (branchy)")
+
+
+def hashloop(n: int = 96) -> Workload:
+    """Stream hashing: input-dependent ALU chain (taint-dense)."""
+    src = f"""
+    const N = {n};
+    fn main() {{
+        var h = 5381;
+        var i = 0;
+        while (i < N) {{
+            var c = in(0);
+            h = ((h * 33) ^ c) % 16777216;
+            i = i + 1;
+        }}
+        out(h, 1);
+    }}
+    """
+    inputs = {0: [(i * 37 + 11) % 256 for i in range(n)]}
+    return Workload("hashloop", compile_source(src), inputs, "input-stream hashing")
+
+
+def rle(n: int = 80) -> Workload:
+    """Run-length encoding: memory traffic + branchy compare loop."""
+    src = f"""
+    const N = {n};
+    global data[{n}];
+    global outbuf[{2 * n}];
+    fn main() {{
+        var seed = in(0);
+        var i = 0;
+        while (i < N) {{
+            seed = (seed * 25173 + 13849) % 65536;
+            data[i] = (seed >> 8) % 4;
+            i = i + 1;
+        }}
+        var w = 0;
+        i = 0;
+        while (i < N) {{
+            var v = data[i];
+            var run = 1;
+            while (i + run < N && data[i + run] == v) {{ run = run + 1; }}
+            outbuf[w] = v;
+            outbuf[w + 1] = run;
+            w = w + 2;
+            i = i + run;
+        }}
+        var check = 0;
+        var j = 0;
+        while (j < w) {{ check = (check * 31 + outbuf[j]) % 1000003; j = j + 1; }}
+        out(w, 1);
+        out(check, 1);
+    }}
+    """
+    return Workload("rle", compile_source(src), {0: [3]}, "run-length encoder")
+
+
+def bfs(width: int = 6) -> Workload:
+    """Grid BFS: pointer-chasing style loads + a work queue."""
+    n = width * width
+    src = f"""
+    const W = {width};
+    const N = {n};
+    global dist[{n}];
+    global queue[{n * 2}];
+    fn main() {{
+        var start = in(0) % N;
+        var i = 0;
+        while (i < N) {{ dist[i] = 0 - 1; i = i + 1; }}
+        var head = 0;
+        var tail = 0;
+        dist[start] = 0;
+        queue[tail] = start;
+        tail = tail + 1;
+        while (head < tail) {{
+            var v = queue[head];
+            head = head + 1;
+            var r = v / W;
+            var c = v % W;
+            if (r > 0 && dist[v - W] < 0) {{ dist[v - W] = dist[v] + 1; queue[tail] = v - W; tail = tail + 1; }}
+            if (r < W - 1 && dist[v + W] < 0) {{ dist[v + W] = dist[v] + 1; queue[tail] = v + W; tail = tail + 1; }}
+            if (c > 0 && dist[v - 1] < 0) {{ dist[v - 1] = dist[v] + 1; queue[tail] = v - 1; tail = tail + 1; }}
+            if (c < W - 1 && dist[v + 1] < 0) {{ dist[v + 1] = dist[v] + 1; queue[tail] = v + 1; tail = tail + 1; }}
+        }}
+        var s = 0;
+        i = 0;
+        while (i < N) {{ s = s + dist[i]; i = i + 1; }}
+        out(s, 1);
+    }}
+    """
+    return Workload("bfs", compile_source(src), {0: [0]}, "grid breadth-first search")
+
+
+def fsm(n: int = 120) -> Workload:
+    """Input-driven finite state machine: unpredictable branches."""
+    src = f"""
+    const N = {n};
+    fn main() {{
+        var state = 0;
+        var count0 = 0;
+        var count1 = 0;
+        var count2 = 0;
+        var i = 0;
+        while (i < N) {{
+            var c = in(0) % 3;
+            if (state == 0) {{
+                if (c == 0) {{ state = 1; count0 = count0 + 1; }}
+                else {{ state = 2; }}
+            }} else if (state == 1) {{
+                if (c == 1) {{ state = 2; count1 = count1 + 1; }}
+                else {{ state = 0; }}
+            }} else {{
+                if (c == 2) {{ state = 0; count2 = count2 + 1; }}
+                else {{ state = 1; }}
+            }}
+            i = i + 1;
+        }}
+        out(count0 * 10000 + count1 * 100 + count2, 1);
+    }}
+    """
+    inputs = {0: [(i * i * 7 + i) % 97 for i in range(n)]}
+    return Workload("fsm", compile_source(src), inputs, "input-driven state machine")
+
+
+def suite(scale: int = 1) -> list[Workload]:
+    """The full SPEC-like suite at a size multiplier."""
+    return [
+        matmul(8 * scale),
+        sort(48 * scale),
+        hashloop(96 * scale),
+        rle(80 * scale),
+        bfs(6 * scale),
+        fsm(120 * scale),
+    ]

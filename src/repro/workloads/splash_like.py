@@ -1,0 +1,229 @@
+"""SPLASH-style parallel kernels (§2.2, §3.1).
+
+Two representations, for the two studies that need them:
+
+* **Op-stream kernels** (:func:`tm_kernels`) feed the TM monitoring
+  simulation: barrier-phased stencils, lock-protected reductions, and
+  flag-synchronized pipelines — the synchronization idioms [9] shows
+  cause livelock under naive conflict resolution.
+* **MiniC kernels** (:func:`race_kernels`) run on the VM for the race
+  detection study: each comes with known ground truth — which
+  cross-thread accesses are real races, which are benign flag
+  synchronization, and which are lock-protected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.codegen import CompiledProgram, compile_source
+from ..runner import ProgramRunner
+from ..tm.ops import Op, ParallelWorkload, ThreadProgram
+
+# ---------------------------------------------------------------------------
+# Op-stream kernels for the TM monitor
+# ---------------------------------------------------------------------------
+
+
+def barrier_stencil(threads: int = 4, cells_per_thread: int = 12, phases: int = 3) -> ParallelWorkload:
+    """Phased stencil: read the neighbour's previous-phase strip, write
+    your own strip, barrier.
+
+    Under naive TM a thread reaches the barrier with its transaction
+    still open (the strip is smaller than the transaction window), so a
+    neighbour that must *read* those cells before arriving conflicts
+    with a thread that is blocked at the barrier and cannot commit —
+    the barrier livelock of [9].
+    """
+    barrier_id = 1
+    progs = []
+    for t in range(threads):
+        ops: list[Op] = []
+        base = 1000 + t * cells_per_thread
+        neighbour = 1000 + ((t + 1) % threads) * cells_per_thread
+        for phase in range(phases):
+            if phase > 0:
+                for i in range(cells_per_thread):
+                    ops.append(Op.read(neighbour + i))
+            for i in range(cells_per_thread):
+                ops.append(Op.write(base + i))
+            ops.append(Op.local(4))
+            ops.append(Op.barrier(barrier_id))
+        progs.append(ThreadProgram(t, ops))
+    return ParallelWorkload(
+        "barrier-stencil", progs, barriers={barrier_id: threads}
+    )
+
+
+def lock_reduction(threads: int = 4, iterations: int = 20) -> ParallelWorkload:
+    """Lock-protected shared accumulator plus private work."""
+    acc = 2000
+    lock_id = 5
+    progs = []
+    for t in range(threads):
+        ops: list[Op] = []
+        for _ in range(iterations):
+            ops.append(Op.local(3))
+            ops.append(Op.lock(lock_id))
+            ops.append(Op.read(acc))
+            ops.append(Op.write(acc))
+            ops.append(Op.unlock(lock_id))
+        progs.append(ThreadProgram(t, ops))
+    return ParallelWorkload("lock-reduction", progs, barriers={})
+
+
+def flag_pipeline(stages: int = 3, items: int = 6) -> ParallelWorkload:
+    """Producer-consumer pipeline synchronized with per-stage flags.
+
+    Stage k spins on flag k until stage k-1 sets it — the flag livelock
+    scenario under naive TM.
+    """
+    progs = []
+    for s in range(stages):
+        ops: list[Op] = []
+        data_base = 3000 + s * 64
+        prev_base = 3000 + (s - 1) * 64
+        for item in range(items):
+            flag_in = 4000 + (s - 1) * 32 + item
+            flag_out = 4000 + s * 32 + item
+            if s > 0:
+                ops.append(Op.flag_wait(flag_in))
+                ops.append(Op.read(prev_base + item))
+            ops.append(Op.local(5))
+            ops.append(Op.write(data_base + item))
+            if s < stages - 1:
+                ops.append(Op.flag_set(flag_out))
+        progs.append(ThreadProgram(s, ops))
+    return ParallelWorkload("flag-pipeline", progs, barriers={})
+
+
+def tm_kernels() -> list[ParallelWorkload]:
+    """The SPLASH-like suite for the TM monitoring experiment (E6)."""
+    return [barrier_stencil(), lock_reduction(), flag_pipeline()]
+
+
+# ---------------------------------------------------------------------------
+# MiniC kernels for race detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RaceKernel:
+    name: str
+    compiled: CompiledProgram
+    #: ground truth: source lines of genuinely racy accesses.
+    racy_lines: set[int]
+    #: lines participating in benign flag synchronization.
+    flag_lines: set[int] = field(default_factory=set)
+
+    def runner(self, max_instructions: int = 5_000_000) -> ProgramRunner:
+        return ProgramRunner(self.compiled.program, max_instructions=max_instructions)
+
+
+def locked_counter_kernel() -> RaceKernel:
+    """Fully synchronized: no true races, lock protects everything."""
+    src = (
+        "global counter;\n"  # 1
+        "fn worker(n) {\n"  # 2
+        "    var i = 0;\n"  # 3
+        "    while (i < n) {\n"  # 4
+        "        lock(1);\n"  # 5
+        "        counter = counter + 1;\n"  # 6
+        "        unlock(1);\n"  # 7
+        "        i = i + 1;\n"  # 8
+        "    }\n"
+        "}\n"
+        "fn main() {\n"  # 11
+        "    var a = spawn(worker, 10);\n"  # 12
+        "    var b = spawn(worker, 10);\n"  # 13
+        "    join(a);\n"  # 14
+        "    join(b);\n"  # 15
+        "    out(counter, 1);\n"  # 16
+        "}\n"
+    )
+    return RaceKernel("locked-counter", compile_source(src), racy_lines=set())
+
+
+def flag_sync_kernel() -> RaceKernel:
+    """Producer/consumer via flag spin: the flag accesses race benignly
+    (recognized synchronization); the data accesses are ordered by it."""
+    src = (
+        "global data;\n"  # 1
+        "global flag;\n"  # 2
+        "fn producer(x) {\n"  # 3
+        "    data = x * 10;\n"  # 4
+        "    flag = 1;\n"  # 5  <- flag set (benign race)
+        "}\n"
+        "fn main() {\n"  # 7
+        "    var t = spawn(producer, 7);\n"  # 8
+        "    while (flag == 0) { }\n"  # 9  <- flag spin (benign race)
+        "    out(data, 1);\n"  # 10 <- ordered by the flag sync
+        "    join(t);\n"  # 11
+        "}\n"
+    )
+    return RaceKernel(
+        "flag-sync",
+        compile_source(src),
+        racy_lines=set(),
+        flag_lines={5, 9},
+    )
+
+
+def true_race_kernel() -> RaceKernel:
+    """A genuine unsynchronized read-write race on ``shared``."""
+    src = (
+        "global shared;\n"  # 1
+        "global sink;\n"  # 2
+        "fn writer(v) {\n"  # 3
+        "    shared = v;\n"  # 4  <- racy write
+        "}\n"
+        "fn main() {\n"  # 6
+        "    shared = 1;\n"  # 7
+        "    var t = spawn(writer, 9);\n"  # 8
+        "    sink = shared;\n"  # 9  <- racy read (no sync vs line 4)
+        "    join(t);\n"  # 10
+        "    out(sink, 1);\n"  # 11
+        "}\n"
+    )
+    return RaceKernel("true-race", compile_source(src), racy_lines={4, 9})
+
+
+def mixed_kernel() -> RaceKernel:
+    """Lock-protected counter + flag sync + one true race, together."""
+    src = (
+        "global counter;\n"  # 1
+        "global flag;\n"  # 2
+        "global data;\n"  # 3
+        "global racy;\n"  # 4
+        "fn worker(n) {\n"  # 5
+        "    var i = 0;\n"  # 6
+        "    while (i < n) {\n"  # 7
+        "        lock(1);\n"  # 8
+        "        counter = counter + 1;\n"  # 9
+        "        unlock(1);\n"  # 10
+        "        i = i + 1;\n"  # 11
+        "    }\n"
+        "    data = n * 100;\n"  # 13
+        "    flag = 1;\n"  # 14 <- benign flag set
+        "    racy = n;\n"  # 15 <- true racy write
+        "}\n"
+        "fn main() {\n"  # 17
+        "    var t = spawn(worker, 8);\n"  # 18
+        "    while (flag == 0) { }\n"  # 19 <- benign flag spin
+        "    out(data, 1);\n"  # 20 <- ordered by flag
+        "    var x = racy;\n"  # 21 <- true racy read
+        "    join(t);\n"  # 22
+        "    out(counter + x, 1);\n"  # 23
+        "}\n"
+    )
+    return RaceKernel(
+        "mixed",
+        compile_source(src),
+        racy_lines={15, 21},
+        flag_lines={14, 19},
+    )
+
+
+def race_kernels() -> list[RaceKernel]:
+    """The race-detection kernel suite (E9)."""
+    return [locked_counter_kernel(), flag_sync_kernel(), true_race_kernel(), mixed_kernel()]

@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.runner import ProgramRunner
+from repro.vm import Machine, RunStatus
+
+
+def compile_and_run(src, inputs=None, scheduler=None, max_instructions=2_000_000, hooks=()):
+    """Compile MiniC, run it, return (machine, result, compiled)."""
+    cp = compile_source(src)
+    m = Machine(cp.program, scheduler=scheduler)
+    for chan, values in (inputs or {}).items():
+        m.io.provide(chan, values)
+    for hook in hooks:
+        m.hooks.subscribe(hook)
+    res = m.run(max_instructions=max_instructions)
+    return m, res, cp
+
+
+def runner_for(src, inputs=None, scheduler_factory=None, max_instructions=2_000_000):
+    """Compile MiniC into a reproducible ProgramRunner; returns (runner, compiled)."""
+    cp = compile_source(src)
+    runner = ProgramRunner(
+        cp.program,
+        inputs={k: list(v) for k, v in (inputs or {}).items()},
+        scheduler_factory=scheduler_factory,
+        max_instructions=max_instructions,
+    )
+    return runner, cp
+
+
+@pytest.fixture
+def minic():
+    return compile_and_run

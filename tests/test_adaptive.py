@@ -1,0 +1,88 @@
+"""Unit tests for the adaptive-optimization extension (§4 future work)."""
+
+from repro.apps.adaptive import AdaptiveOptimizer
+from repro.lang import compile_source
+from repro.runner import ProgramRunner
+from repro.workloads.spec_like import matmul
+
+
+def plan_for(src, inputs=None, hot_trace_threshold=8):
+    cp = compile_source(src)
+    runner = ProgramRunner(cp.program, inputs=inputs or {})
+    return AdaptiveOptimizer(runner, hot_trace_threshold=hot_trace_threshold).plan(), cp
+
+
+HOT_LOOP = """
+global table[4];
+fn main() {
+    table[0] = 7;
+    var s = 0;
+    var i = 0;
+    while (i < 50) {
+        s = s + table[0] * 3;   // invariant load + invariant multiply source
+        i = i + 1;
+    }
+    out(s, 1);
+}
+"""
+
+
+class TestAdaptiveOptimizer:
+    def test_hot_traces_found_in_loops(self):
+        plan, _ = plan_for(HOT_LOOP)
+        assert plan.hot_traces
+        assert all(t.executions >= 8 for t in plan.hot_traces)
+
+    def test_invariant_sites_found(self):
+        plan, cp = plan_for(HOT_LOOP)
+        lines = {cp.line_of(site.pc) for site in plan.invariants}
+        assert 8 in lines  # the loop body computes from invariant table[0]
+
+    def test_varying_sites_excluded(self):
+        plan, cp = plan_for(HOT_LOOP)
+        # `i = i + 1` produces a different value each iteration
+        varying_line = 9
+        assert varying_line not in {cp.line_of(site.pc) for site in plan.invariants}
+
+    def test_redundant_load_cache_sites(self):
+        plan, cp = plan_for(HOT_LOOP)
+        assert plan.cache_sites
+        best = max(plan.cache_sites, key=lambda s: s.hit_rate)
+        assert best.hit_rate > 0.9  # table[0] never changes in the loop
+
+    def test_estimated_speedup_positive_and_bounded(self):
+        plan, _ = plan_for(HOT_LOOP)
+        assert 1.0 < plan.estimated_speedup < 10.0
+        assert plan.estimated_savings_cycles < plan.base_cycles
+
+    def test_cold_code_not_specialized(self):
+        plan, _ = plan_for("fn main() { out(1 + 2, 1); }")
+        assert plan.invariants == []
+        assert plan.cache_sites == []
+        assert plan.estimated_speedup == 1.0
+
+    def test_profiling_does_not_perturb_costs(self):
+        cp = compile_source(HOT_LOOP)
+        runner = ProgramRunner(cp.program)
+        _, baseline = runner.run()
+        plan = AdaptiveOptimizer(runner).plan()
+        assert plan.base_cycles == baseline.cycles.base
+
+    def test_works_on_spec_kernel(self):
+        w = matmul(6)
+        plan = AdaptiveOptimizer(w.runner(), hot_trace_threshold=16).plan()
+        assert plan.total_instructions > 0
+        assert plan.summary()
+
+    def test_input_values_never_invariant(self):
+        plan, cp = plan_for(
+            "fn main() { var i = 0; while (i < 20) { var x = in(0); out(x, 1); i = i + 1; } }",
+            inputs={0: [5] * 20},  # same value, but from input: must not fold
+        )
+        from repro.isa import Opcode
+
+        in_pcs = {
+            pc for pc in range(len(cp.program.code))
+            if cp.program.code[pc].opcode is Opcode.IN
+        }
+        assert not any(site.pc in in_pcs for site in plan.invariants)

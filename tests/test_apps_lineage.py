@@ -1,0 +1,193 @@
+"""Unit tests for the lineage application: roBDD manager, lineage set
+stores, the lineage policy/tracer, validation queries."""
+
+import pytest
+
+from repro.apps.lineage import (
+    BDD_BYTES_PER_NODE,
+    BDDLineageStore,
+    BDDManager,
+    LineageTracer,
+    NaiveLineageStore,
+    decode_input,
+    encode_input,
+    screen_outputs,
+    verify_against_reference,
+)
+from repro.workloads.scientific import (
+    block_select,
+    cumulative_sum,
+    lineage_suite,
+    moving_average,
+    scatter_pick,
+    stencil_chain,
+)
+
+
+class TestBDDManager:
+    def test_terminals(self):
+        mgr = BDDManager(bits=4)
+        assert mgr.FALSE == 0 and mgr.TRUE == 1
+        assert mgr.node_count == 0
+
+    def test_singleton_contains_only_itself(self):
+        mgr = BDDManager(bits=6)
+        node = mgr.singleton(37)
+        for v in range(64):
+            assert mgr.contains(node, v) == (v == 37)
+        assert mgr.count(node) == 1
+
+    def test_union_intersect_small(self):
+        mgr = BDDManager(bits=5)
+        a = mgr.from_iterable({1, 5, 9})
+        b = mgr.from_iterable({5, 9, 30})
+        assert mgr.to_set(mgr.union(a, b)) == {1, 5, 9, 30}
+        assert mgr.to_set(mgr.intersect(a, b)) == {5, 9}
+
+    def test_hash_consing_same_set_same_node(self):
+        mgr = BDDManager(bits=8)
+        a = mgr.from_iterable([3, 1, 2])
+        b = mgr.from_iterable([2, 3, 1])
+        assert a == b  # canonical form
+
+    def test_union_identities(self):
+        mgr = BDDManager(bits=6)
+        a = mgr.from_iterable({2, 4})
+        assert mgr.union(a, mgr.FALSE) == a
+        assert mgr.union(a, a) == a
+        assert mgr.intersect(a, mgr.TRUE) == a
+        assert mgr.intersect(a, mgr.FALSE) == mgr.FALSE
+
+    def test_full_set_is_terminal_true(self):
+        mgr = BDDManager(bits=3)
+        node = mgr.from_iterable(range(8))
+        assert node == mgr.TRUE
+        assert mgr.count(node) == 8
+
+    def test_contiguous_cheaper_than_scattered(self):
+        mgr = BDDManager(bits=12)
+        contiguous = mgr.from_iterable(range(512, 640))
+        # an irregular stride: no binary periodicity for the BDD to exploit
+        scattered = mgr.from_iterable((i * 37 + 13) % 4096 for i in range(128))
+        assert mgr.reachable_count(contiguous) < mgr.reachable_count(scattered)
+
+    def test_out_of_range_rejected(self):
+        mgr = BDDManager(bits=4)
+        with pytest.raises(ValueError):
+            mgr.singleton(16)
+        with pytest.raises(ValueError):
+            BDDManager(bits=0)
+
+    def test_count_with_skipped_top_variables(self):
+        mgr = BDDManager(bits=8)
+        evens = mgr.from_iterable(range(0, 256, 2))
+        assert mgr.count(evens) == 128
+
+
+class TestStores:
+    @pytest.mark.parametrize("store_factory", [NaiveLineageStore, lambda: BDDLineageStore(bits=12)])
+    def test_store_semantics(self, store_factory):
+        store = store_factory()
+        a = store.singleton(10)
+        b = store.singleton(11)
+        u = store.union([a, b])
+        assert store.members(u) == {10, 11}
+        assert store.size(u) == 2
+        assert store.contains(u, 10)
+        assert not store.contains(u, 12)
+
+    def test_encode_decode_roundtrip(self):
+        for channel in (0, 3, 7):
+            for index in (0, 1, 1000):
+                assert decode_input(encode_input(channel, index)) == (channel, index)
+
+    def test_encoding_preserves_clustering(self):
+        # consecutive indices on one channel stay 8 apart (contiguous x8)
+        ids = [encode_input(0, i) for i in range(5)]
+        assert all(b - a == 8 for a, b in zip(ids, ids[1:]))
+
+    def test_bad_channel_rejected(self):
+        with pytest.raises(ValueError):
+            encode_input(8, 0)
+
+    def test_naive_footprint_is_sum_of_sizes(self):
+        store = NaiveLineageStore()
+        labels = [store.singleton(i) for i in range(5)]
+        labels.append(store.union(labels))
+        assert store.footprint_bytes(labels) == (5 + 5) * 4
+
+    def test_bdd_footprint_counts_live_reachable_once(self):
+        store = BDDLineageStore(bits=10)
+        a = store.union([store.singleton(i) for i in range(16)])
+        footprint_one = store.footprint_bytes([a])
+        footprint_two = store.footprint_bytes([a, a])  # shared: no double count
+        assert footprint_one == footprint_two
+        assert footprint_one % BDD_BYTES_PER_NODE == 0
+
+
+class TestLineageTracer:
+    @pytest.mark.parametrize("representation", ["naive", "robdd"])
+    def test_exact_lineage_on_suite(self, representation):
+        for workload in lineage_suite():
+            tracer = LineageTracer(representation=representation)
+            trace = tracer.trace(workload.runner())
+            matches, mismatches = verify_against_reference(trace, workload.expected_lineage)
+            assert matches == workload.n_outputs, (workload.name, mismatches[:2])
+
+    def test_output_values_recorded(self):
+        workload = moving_average(n=8, window=2)
+        trace = LineageTracer("robdd").trace(workload.runner())
+        machine_outputs = [o.value for o in trace.outputs]
+        assert len(machine_outputs) == workload.n_outputs
+
+    def test_outputs_depending_on(self):
+        workload = moving_average(n=10, window=3)
+        trace = LineageTracer("robdd").trace(workload.runner())
+        dependents = trace.outputs_depending_on(0, 4)
+        # input 4 is in windows starting at 2, 3, 4
+        assert {o.position for o in dependents} == {2, 3, 4}
+
+    def test_robdd_beats_naive_on_overlapping_sets(self):
+        workload = cumulative_sum(n=250)
+        naive = LineageTracer("naive").trace(workload.runner())
+        robdd = LineageTracer("robdd").trace(workload.runner())
+        assert robdd.shadow_set_bytes < naive.shadow_set_bytes
+        assert robdd.union_cycles < naive.union_cycles
+
+    def test_naive_wins_on_scattered_singletons(self):
+        workload = scatter_pick(n=32, picks=8)
+        naive = LineageTracer("naive").trace(workload.runner())
+        robdd = LineageTracer("robdd").trace(workload.runner())
+        assert naive.shadow_set_bytes < robdd.shadow_set_bytes
+
+    def test_unknown_representation_rejected(self):
+        with pytest.raises(ValueError):
+            LineageTracer("bitmap")
+
+
+class TestValidation:
+    def test_screening_partitions_outputs(self):
+        workload = block_select()
+        trace = LineageTracer("robdd").trace(workload.runner())
+        report = screen_outputs(trace, contaminated={0})  # first input cell
+        assert set(report.suspect_outputs) | set(report.cleared_outputs) == {
+            o.position for o in trace.outputs
+        }
+        assert not set(report.suspect_outputs) & set(report.cleared_outputs)
+
+    def test_contamination_matches_ground_truth(self):
+        workload = stencil_chain(n=12, rounds=2)
+        trace = LineageTracer("robdd").trace(workload.runner())
+        bad = 5
+        report = screen_outputs(trace, contaminated={bad})
+        expected_suspects = {
+            k for k in range(workload.n_outputs) if bad in workload.expected_lineage(k)
+        }
+        assert set(report.suspect_outputs) == expected_suspects
+
+    def test_uncontaminated_all_clear(self):
+        workload = moving_average(n=8, window=2)
+        trace = LineageTracer("robdd").trace(workload.runner())
+        report = screen_outputs(trace, contaminated={999})
+        assert report.suspect_outputs == []
+        assert report.false_positive_candidates == []

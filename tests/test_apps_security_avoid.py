@@ -1,0 +1,170 @@
+"""Unit tests for the security monitor / attack corpus and the
+fault-avoidance framework / patch file."""
+
+import pytest
+
+from repro.apps.faultavoid import (
+    EnvironmentPatch,
+    FaultAvoidanceFramework,
+    FaultSignature,
+    FilterInputStrategy,
+    PadAllocationsStrategy,
+    PatchFile,
+    RescheduleStrategy,
+)
+from repro.apps.security import AttackMonitor, attack_corpus
+from repro.vm import RunStatus
+from repro.workloads.buggy import (
+    atomicity_violation,
+    heap_overflow,
+    malformed_request,
+)
+
+
+# --- security ---------------------------------------------------------------
+class TestAttackCorpus:
+    @pytest.mark.parametrize("scenario", attack_corpus(), ids=lambda s: s.name)
+    def test_benign_runs_complete_unflagged(self, scenario):
+        report = AttackMonitor.for_scenario(scenario).monitor(
+            scenario.runner(attack=False), scenario.compiled, scenario.name
+        )
+        assert not report.detected
+        assert report.result.status is RunStatus.EXITED
+
+    @pytest.mark.parametrize("scenario", attack_corpus(), ids=lambda s: s.name)
+    def test_attacks_detected_and_stopped(self, scenario):
+        report = AttackMonitor.for_scenario(scenario).monitor(
+            scenario.runner(attack=True), scenario.compiled, scenario.name
+        )
+        assert report.detected
+        assert report.stopped_by_dift
+        assert not report.hijack_succeeded
+
+    @pytest.mark.parametrize("scenario", attack_corpus(), ids=lambda s: s.name)
+    def test_pc_taint_names_root_cause(self, scenario):
+        report = AttackMonitor.for_scenario(scenario).monitor(
+            scenario.runner(attack=True), scenario.compiled, scenario.name
+        )
+        assert report.culprit_line in scenario.root_cause_lines
+
+    @pytest.mark.parametrize("scenario", attack_corpus(), ids=lambda s: s.name)
+    def test_bool_policy_detects_but_cannot_explain(self, scenario):
+        report = AttackMonitor.for_scenario(scenario, policy="bool").monitor(
+            scenario.runner(attack=True), scenario.compiled, scenario.name
+        )
+        assert report.detected
+        assert report.culprit_pc == -1
+
+    def test_attack_succeeds_without_dift(self):
+        scenario = attack_corpus()[0]  # fptr overflow -> grant_admin
+        machine, result = scenario.runner(attack=True).run()
+        assert result.status is RunStatus.EXITED
+        assert 9999 in machine.io.output(1)  # privileged action executed
+
+
+# --- fault avoidance -------------------------------------------------------------
+class TestStrategies:
+    def test_reschedule_avoids_atomicity(self):
+        bug = atomicity_violation()
+        outcome = FaultAvoidanceFramework().avoid(bug.runner())
+        assert outcome.avoided
+        assert outcome.patch.strategy == "reschedule"
+
+    def test_padding_avoids_overflow(self):
+        bug = heap_overflow()
+        outcome = FaultAvoidanceFramework().avoid(bug.runner())
+        assert outcome.avoided
+        assert outcome.patch.strategy == "pad-allocations"
+
+    def test_filter_avoids_malformed_and_names_position(self):
+        bug = malformed_request()
+        outcome = FaultAvoidanceFramework().avoid(bug.runner())
+        assert outcome.avoided
+        assert outcome.patch.strategy == "filter-input"
+        # position 3 holds the zero divisor in the failing input stream
+        assert 3 in outcome.patch.params["positions"]
+
+    def test_non_failing_run_rejected(self):
+        bug = malformed_request()
+        with pytest.raises(ValueError):
+            FaultAvoidanceFramework().avoid(bug.runner(failing=False))
+
+    def test_attempts_recorded(self):
+        bug = heap_overflow()
+        outcome = FaultAvoidanceFramework().avoid(bug.runner())
+        assert outcome.attempts
+        assert outcome.attempts[-1].succeeded
+        assert all(not a.succeeded for a in outcome.attempts[:-1])
+
+    def test_strategy_order_depends_on_failure_kind(self):
+        fw = FaultAvoidanceFramework()
+        first_for_div = fw._strategy_order("div_zero")[0]
+        first_for_free = fw._strategy_order("bad_free")[0]
+        assert isinstance(first_for_div, FilterInputStrategy)
+        assert isinstance(first_for_free, PadAllocationsStrategy)
+
+
+class TestPatchFile:
+    def test_signature_matching(self):
+        sig = FaultSignature(kind="assert", pc=10)
+        assert sig.matches("assert", 10)
+        assert not sig.matches("assert", 11)
+        assert not sig.matches("div_zero", 10)
+        assert FaultSignature(kind="assert", pc=-1).matches("assert", 123)
+
+    def test_find_returns_matching_patch(self):
+        pf = PatchFile()
+        patch = EnvironmentPatch(
+            signature=FaultSignature("assert", 5), strategy="pad-allocations",
+            params={"padding": 2},
+        )
+        pf.record(patch)
+        assert pf.find("assert", 5) is patch
+        assert pf.find("assert", 6) is None
+
+    def test_protected_run_applies_padding(self):
+        bug = heap_overflow()
+        pf = PatchFile()
+        outcome = FaultAvoidanceFramework(pf).avoid(bug.runner())
+        machine, result, patch = pf.protected_run(
+            bug.runner(), outcome.failure_kind, outcome.failure_pc
+        )
+        assert not result.failed
+        assert machine.memory.alloc_padding == patch.params["padding"]
+
+    def test_protected_run_filters_input(self):
+        bug = malformed_request()
+        pf = PatchFile()
+        outcome = FaultAvoidanceFramework(pf).avoid(bug.runner())
+        machine, result, _ = pf.protected_run(
+            bug.runner(), outcome.failure_kind, outcome.failure_pc
+        )
+        assert not result.failed
+        assert machine.io.output(1)  # the server still answered
+
+    def test_unpatched_failure_still_fails(self):
+        bug = heap_overflow()
+        pf = PatchFile()  # empty patch file
+        machine, result, patch = pf.protected_run(bug.runner(), "assert", 999999)
+        assert patch is None
+        assert result.failed
+
+    def test_lookup_overhead_charged(self):
+        bug = malformed_request()
+        pf = PatchFile()
+        FaultAvoidanceFramework(pf).avoid(bug.runner())
+        machine, result, _ = pf.protected_run(bug.runner(), "div_zero", -1)
+        # -1 pc never matches; but lookup cost is charged regardless
+        assert result.cycles.overhead >= pf.lookup_cycles
+
+    def test_apply_to_runner_does_not_mutate_original(self):
+        bug = malformed_request()
+        runner = bug.runner()
+        original_inputs = {k: list(v) for k, v in runner.inputs.items()}
+        patch = EnvironmentPatch(
+            signature=FaultSignature("div_zero", -1),
+            strategy="filter-input",
+            params={"positions": [3], "replacement": 1, "channel": 0},
+        )
+        patch.apply_to_runner(runner)
+        assert runner.inputs == original_inputs

@@ -1,0 +1,132 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_inputs, main
+
+
+@pytest.fixture
+def demo(tmp_path):
+    path = tmp_path / "demo.mc"
+    path.write_text(
+        "fn main() {\n"
+        "    var a = in(0);\n"
+        "    var b = in(0);\n"
+        "    var bad = a + a;\n"
+        "    out(a + b, 1);\n"
+        "    out(bad, 1);\n"
+        "}\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def vulnerable(tmp_path):
+    path = tmp_path / "vuln.mc"
+    path.write_text(
+        "fn safe(x) { out(1, 1); }\n"
+        "fn admin(x) { out(2, 1); }\n"
+        "fn main() {\n"
+        "    var fp = alloc(1);\n"
+        "    fp[0] = in(0);\n"
+        "    icall(fp[0], 0);\n"
+        "}\n"
+    )
+    return str(path)
+
+
+class TestParseInputs:
+    def test_single_channel(self):
+        assert _parse_inputs(["0=1,2,3"]) == {0: [1, 2, 3]}
+
+    def test_multiple_and_repeated(self):
+        assert _parse_inputs(["0=1", "3=9,8", "0=2"]) == {0: [1, 2], 3: [9, 8]}
+
+    def test_negative_values(self):
+        assert _parse_inputs(["0=-1,-2"]) == {0: [-1, -2]}
+
+    def test_empty(self):
+        assert _parse_inputs([]) == {}
+        assert _parse_inputs(None) == {}
+
+
+class TestCommands:
+    def test_run(self, demo, capsys):
+        code = main(["run", demo, "--input", "0=3,4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status: exited" in out
+        assert "out[1]: [7, 6]" in out
+
+    def test_run_failure_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "f.mc"
+        path.write_text("fn main() { fail(1); }\n")
+        assert main(["run", str(path)]) == 1
+        assert "failure" in capsys.readouterr().out
+
+    def test_disasm(self, demo, capsys):
+        assert main(["disasm", demo]) == 0
+        out = capsys.readouterr().out
+        assert ".func main" in out and "icall" not in out
+
+    def test_trace(self, demo, capsys):
+        assert main(["trace", demo, "--input", "0=3,4"]) == 0
+        out = capsys.readouterr().out
+        assert "B/instr" in out
+        assert "DDG:" in out
+
+    def test_trace_naive_stores_more(self, demo, capsys):
+        main(["trace", demo, "--input", "0=3,4"])
+        optimized = capsys.readouterr().out
+        main(["trace", demo, "--input", "0=3,4", "--naive"])
+        naive = capsys.readouterr().out
+
+        def rate(text):
+            for line in text.splitlines():
+                if "B/instr" in line:
+                    return float(line.split("(")[1].split()[0])
+            raise AssertionError(text)
+
+        assert rate(naive) > rate(optimized)
+
+    def test_slice(self, demo, capsys):
+        assert main(["slice", demo, "--input", "0=3,4", "--line", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "line   4" in out  # the producer of 'bad'
+        assert "line   3" not in out  # unrelated input b
+
+    def test_slice_unknown_line(self, demo, capsys):
+        assert main(["slice", demo, "--input", "0=3,4", "--line", "99"]) == 2
+
+    def test_attack_clean(self, demo, capsys):
+        # no indirect calls, no tainted sinks: the monitor stays quiet
+        assert main(["attack", demo, "--input", "0=3,4"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_attack_flags_input_derived_pointer_even_when_benign(self, vulnerable, capsys):
+        # the pointer is ALWAYS input-derived in this program: classic
+        # DIFT flags it regardless of the value — faithful semantics
+        assert main(["attack", vulnerable, "--input", "0=0"]) == 1
+
+    def test_attack_detected_with_root_cause(self, vulnerable, capsys):
+        assert main(["attack", vulnerable, "--input", "0=1"]) == 1
+        out = capsys.readouterr().out
+        assert "ATTACK DETECTED" in out
+        assert "root cause: line 5" in out  # fp[0] = in(0)
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.mc"
+        path.write_text("fn main() { x = ; }\n")
+        assert main(["run", str(path)]) == 2
+        assert "compile error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.mc"]) == 2
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "E99"]) == 2
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out and "verifications" in out

@@ -1,0 +1,219 @@
+"""Edge-case coverage for smaller surfaces: memory ranges, I/O, cost
+model, hook defaults, record formatting, config constructors, snapshot
+of threaded state, generator configuration knobs."""
+
+import pytest
+
+from repro.dift import BoolTaintPolicy, DIFTEngine, PCTaintPolicy
+from repro.lang import compile_source
+from repro.ontrac import DepKind, DepRecord, OntracConfig
+from repro.vm import (
+    EOF,
+    CostModel,
+    CycleCounters,
+    Hook,
+    IOSystem,
+    Machine,
+    Memory,
+    ProgramFailure,
+    RoundRobinScheduler,
+    restore_snapshot,
+    take_snapshot,
+)
+from repro.workloads.generators import GeneratorConfig, generate
+
+
+class TestMemoryRanges:
+    def test_load_store_range(self):
+        mem = Memory()
+        mem.store_range(100, [1, 2, 3])
+        assert mem.load_range(100, 3) == [1, 2, 3]
+        assert mem.load_range(99, 5) == [0, 1, 2, 3, 0]
+
+    def test_footprint_counts_distinct_cells(self):
+        mem = Memory()
+        mem.store(1, 5)
+        mem.store(1, 6)
+        mem.store(2, 7)
+        assert mem.footprint == 2
+
+    def test_alloc_size_zero_rejected(self):
+        mem = Memory()
+        with pytest.raises(ProgramFailure):
+            mem.alloc(0)
+
+    def test_clone_deep(self):
+        mem = Memory()
+        base = mem.alloc(4)
+        mem.store(base, 9)
+        clone = mem.clone()
+        clone.store(base, 10)
+        clone.free(base)
+        assert mem.load(base) == 9
+        assert base in mem.allocations
+
+
+class TestIOSystem:
+    def test_eof_logged_with_negative_index(self):
+        io = IOSystem()
+        value, index = io.read(0, seq=5)
+        assert value == EOF and index == -1
+        assert io.read_log == [(5, 0, EOF, -1)]
+
+    def test_provide_appends(self):
+        io = IOSystem()
+        io.provide(1, [1])
+        io.provide(1, [2])
+        assert io.inputs[1] == [1, 2]
+
+    def test_output_text_skips_invalid_codepoints(self):
+        io = IOSystem()
+        io.write(1, ord("a"))
+        io.write(1, -5)
+        io.write(1, ord("b"))
+        assert io.output_text(1) == "ab"
+
+    def test_clone_preserves_cursor(self):
+        io = IOSystem()
+        io.provide(0, [1, 2, 3])
+        io.read(0, 0)
+        clone = io.clone()
+        assert clone.read(0, 1)[0] == 2
+
+
+class TestCostModel:
+    def test_table_dense(self):
+        cm = CostModel()
+        table = cm.table()
+        from repro.isa import Opcode
+
+        for op in Opcode:
+            assert table[int(op)] == cm.cost(op)
+
+    def test_counters(self):
+        c = CycleCounters(base=100, overhead=50)
+        assert c.total == 150
+        assert c.slowdown == 1.5
+        assert CycleCounters().slowdown == 1.0
+
+
+class TestHookDefaults:
+    def test_base_hook_is_all_noops(self):
+        # subscribing a bare Hook must not affect execution
+        cp = compile_source(
+            """
+            fn w(x) { lock(1); unlock(1); }
+            fn main() {
+                var p = alloc(2);
+                free(p);
+                var t = spawn(w, in(0));
+                join(t);
+                barrier_init(1, 1);
+                barrier_wait(1);
+                out(1, 1);
+            }
+            """
+        )
+        m = Machine(cp.program)
+        m.io.provide(0, [1])
+        m.hooks.subscribe(Hook())
+        res = m.run()
+        assert not res.failed
+
+    def test_unsubscribe(self):
+        cp = compile_source("fn main() { out(1, 1); }")
+        m = Machine(cp.program)
+        hook = Hook()
+        m.hooks.subscribe(hook)
+        m.hooks.unsubscribe(hook)
+        assert not m.hooks.active
+
+
+class TestRecordsAndConfigs:
+    def test_record_str_forms(self):
+        edge = DepRecord(DepKind.REG, 5, 1, 3, 0)
+        assert "->" in str(edge)
+        marker = DepRecord(DepKind.BRANCH, 5, 1)
+        assert "branch" in str(marker)
+
+    def test_config_constructors(self):
+        naive = OntracConfig.unoptimized(buffer_bytes=123)
+        assert naive.naive and naive.buffer_bytes == 123
+        generic = OntracConfig.generic_optimizations(hot_trace_threshold=3)
+        assert not generic.naive and generic.hot_trace_threshold == 3
+
+    def test_scheduler_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)
+
+    def test_policy_describe(self):
+        assert "tainted" in BoolTaintPolicy().describe(True)
+        assert "42" in PCTaintPolicy().describe(42)
+
+    def test_dift_stats_zero_division(self):
+        assert DIFTEngine(BoolTaintPolicy()).stats.taint_rate == 0.0
+
+
+class TestSnapshotThreaded:
+    def test_snapshot_mid_threaded_run(self):
+        cp = compile_source(
+            """
+            global total;
+            fn w(n) {
+                var i = 0;
+                while (i < n) { lock(1); total = total + 1; unlock(1); i = i + 1; }
+            }
+            fn main() {
+                var a = spawn(w, 8);
+                var b = spawn(w, 8);
+                join(a);
+                join(b);
+                out(total, 1);
+            }
+            """
+        )
+        m = Machine(cp.program)
+        m.run(max_instructions=60)  # mid-flight, threads live/blocked
+        snap = take_snapshot(m)
+        m.run(max_instructions=1_000_000)
+        expected = m.io.output(1)
+
+        m2 = Machine(cp.program)
+        restore_snapshot(m2, snap)
+        m2.run(max_instructions=1_000_000)
+        assert m2.io.output(1) == expected == [16]
+
+    def test_snapshot_preserves_locks_and_barriers(self):
+        cp = compile_source(
+            """
+            fn main() {
+                lock(3);
+                barrier_init(7, 1);
+                out(1, 1);
+                unlock(3);
+            }
+            """
+        )
+        m = Machine(cp.program)
+        m.run(max_instructions=8)  # lock held, barrier created
+        snap = take_snapshot(m)
+        assert snap.mutexes and 3 in snap.mutexes
+        m2 = Machine(cp.program)
+        restore_snapshot(m2, snap)
+        assert m2.mutexes[3].owner == 0
+
+
+class TestGeneratorConfig:
+    def test_knobs_respected(self):
+        gp = generate(5, GeneratorConfig(num_globals=1, num_arrays=1, num_helpers=0))
+        assert "g0" in gp.source and "g1" not in gp.source
+        assert "h0(" not in gp.source
+
+    def test_inputs_generated_when_requested(self):
+        gp = generate(6, GeneratorConfig(use_inputs=True, input_count=3))
+        assert len(gp.inputs[0]) == 3
+
+    def test_programs_self_validate(self):
+        for seed in range(5):
+            gp = generate(seed)
+            gp.compiled.program.validate()

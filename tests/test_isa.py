@@ -1,0 +1,569 @@
+"""Unit tests for the ISA layer: instructions, assembler, programs, CFG,
+dominance, static dataflow."""
+
+import pytest
+
+from repro.isa import (
+    CFG,
+    EXIT_BLOCK,
+    MNEMONICS,
+    NUM_REGS,
+    OP_TABLE,
+    SP,
+    AssemblyError,
+    Dominance,
+    Instruction,
+    Opcode,
+    Operand,
+    ProgramBuilder,
+    ProgramError,
+    assemble,
+    block_dataflow,
+    branch_ipdom_table,
+    build_cfgs,
+    link,
+    path_dataflow,
+    reg_name,
+)
+
+
+# --- instruction table ---------------------------------------------------
+class TestOpTable:
+    def test_every_opcode_has_a_spec(self):
+        for op in Opcode:
+            assert op in OP_TABLE, f"missing spec for {op}"
+
+    def test_mnemonics_unique_and_complete(self):
+        assert len(MNEMONICS) == len(OP_TABLE)
+        for name, op in MNEMONICS.items():
+            assert OP_TABLE[op].mnemonic == name
+
+    def test_control_ops_marked(self):
+        for op in (Opcode.JMP, Opcode.BR, Opcode.BRZ, Opcode.CALL, Opcode.RET, Opcode.HALT):
+            assert OP_TABLE[op].is_control
+
+    def test_branches_fall_through_but_jmp_does_not(self):
+        assert OP_TABLE[Opcode.BR].falls_through
+        assert OP_TABLE[Opcode.BRZ].falls_through
+        assert not OP_TABLE[Opcode.JMP].falls_through
+        assert not OP_TABLE[Opcode.RET].falls_through
+
+    def test_memory_flags(self):
+        assert OP_TABLE[Opcode.LOAD].reads_memory
+        assert OP_TABLE[Opcode.STORE].writes_memory
+        assert OP_TABLE[Opcode.PUSH].writes_memory
+        assert OP_TABLE[Opcode.POP].reads_memory
+
+    def test_defs_and_uses(self):
+        instr = Instruction(Opcode.ADD, (1, 2, 3))
+        assert instr.defs == (1,)
+        assert instr.uses == (2, 3)
+        store = Instruction(Opcode.STORE, (4, 5, 0))
+        assert store.defs == ()
+        assert store.uses == (4, 5)
+
+    def test_reg_name(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(SP) == "sp"
+
+    def test_format_round_trip_mnemonic(self):
+        instr = Instruction(Opcode.ADDI, (1, 2, -5))
+        assert instr.format() == "addi r1, r2, -5"
+
+
+# --- assembler -----------------------------------------------------------
+SIMPLE = """
+.func main 0
+    li r0, 1
+    halt
+.end
+"""
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        p = assemble(SIMPLE)
+        assert len(p.code) == 2
+        assert p.code[0].opcode is Opcode.LI
+        assert p.entry_function.name == "main"
+
+    def test_comments_and_blank_lines(self):
+        p = assemble(
+            """
+            ; leading comment
+            .func main 0
+                li r0, 1   # trailing comment
+
+                halt
+            .end
+            """
+        )
+        assert len(p.code) == 2
+
+    def test_labels_forward_and_backward(self):
+        p = assemble(
+            """
+            .func main 0
+            top:
+                jmp bottom
+            mid:
+                jmp top
+            bottom:
+                brz r0, mid
+                halt
+            .end
+            """
+        )
+        assert p.code[0].operands == (2,)  # jmp bottom
+        assert p.code[1].operands == (0,)  # jmp top
+        assert p.code[2].operands == (0, 1)  # brz r0, mid
+
+    def test_hex_char_and_negative_immediates(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 0x10
+                li r1, -3
+                li r2, 'A'
+                halt
+            .end
+            """
+        )
+        assert p.code[0].operands == (0, 16)
+        assert p.code[1].operands == (1, -3)
+        assert p.code[2].operands == (2, 65)
+
+    def test_fn_immediate_forward_reference(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, fn:target
+                icall r0
+                halt
+            .end
+            .func target 0
+                ret
+            .end
+            """
+        )
+        assert p.code[0].operands == (0, 1)
+
+    def test_call_and_spawn_resolution(self):
+        p = assemble(
+            """
+            .func main 0
+                call helper
+                li r1, 7
+                spawn r0, helper, r1
+                halt
+            .end
+            .func helper 0
+                ret
+            .end
+            """
+        )
+        assert p.code[0].operands == (1,)
+        assert p.code[2].operands == (0, 1, 1)
+
+    def test_sp_alias(self):
+        p = assemble(".func main 0\n    addi sp, sp, -4\n    halt\n.end\n")
+        assert p.code[0].operands == (SP, SP, -4)
+
+    @pytest.mark.parametrize(
+        "src,fragment",
+        [
+            (".func main 0\n    bogus r0\n.end\n", "unknown mnemonic"),
+            (".func main 0\n    li r0\n.end\n", "expects 2 operand"),
+            (".func main 0\n    li r99, 1\n.end\n", "register out of range"),
+            (".func main 0\n    jmp nowhere\n    halt\n.end\n", "undefined label"),
+            (".func main 0\n    call nope\n    halt\n.end\n", "unknown function"),
+            (".func main 0\n    halt\n.end\n.func main 0\n    halt\n.end\n", "duplicate function"),
+            (".func main 0\nx:\nx:\n    halt\n.end\n", "duplicate label"),
+            (".func main 0\n    halt\n", "missing .end"),
+            ("    li r0, 1\n", "outside"),
+            (".func main 0\n    li r0, fn:ghost\n    halt\n.end\n", "unknown function"),
+        ],
+    )
+    def test_errors(self, src, fragment):
+        with pytest.raises(AssemblyError) as exc:
+            assemble(src)
+        assert fragment in str(exc.value)
+
+    def test_missing_entry(self):
+        with pytest.raises(ProgramError):
+            assemble(".func other 0\n    halt\n.end\n")
+
+    def test_fall_off_end_rejected(self):
+        with pytest.raises(ProgramError):
+            assemble(".func main 0\n    li r0, 1\n.end\n")
+
+    def test_disassemble_round_trip(self):
+        src = """
+        .func main 0
+            li r0, 3
+        loop:
+            addi r0, r0, -1
+            br r0, loop
+            call helper
+            halt
+        .end
+        .func helper 1
+            li r0, 9
+            ret
+        .end
+        """
+        p1 = assemble(src)
+        p2 = assemble(p1.disassemble())
+        assert [i.format() for i in p1.code] == [i.format() for i in p2.code]
+        assert p2.functions["helper"].num_params == 1
+
+
+# --- program/link ---------------------------------------------------------
+class TestProgram:
+    def test_link_rebases_labels(self):
+        f1 = [
+            Instruction(Opcode.JMP, (1,)),
+            Instruction(Opcode.HALT, ()),
+        ]
+        f2 = [
+            Instruction(Opcode.JMP, (0,)),
+            Instruction(Opcode.RET, ()),
+        ]
+        p = link([("main", 0, f1), ("f", 0, f2)])
+        assert p.code[0].operands == (1,)
+        assert p.code[2].operands == (2,)  # rebased by +2
+
+    def test_function_of(self):
+        p = assemble(SIMPLE)
+        assert p.function_of(0).name == "main"
+
+    def test_stats(self):
+        p = assemble(
+            """
+            .func main 0
+                load r0, r1, 0
+                store r0, r1, 1
+                brz r0, done
+            done:
+                halt
+            .end
+            """
+        )
+        s = p.stats()
+        assert s == {
+            "instructions": 4,
+            "functions": 1,
+            "branches": 1,
+            "loads": 1,
+            "stores": 1,
+        }
+
+
+# --- builder ---------------------------------------------------------------
+class TestBuilder:
+    def test_builder_matches_assembler(self):
+        b = ProgramBuilder()
+        f = b.function("main")
+        loop = f.label("loop")
+        f.emit(Opcode.LI, 0, 3)
+        f.place(loop)
+        f.emit(Opcode.ADDI, 0, 0, -1)
+        f.emit(Opcode.BR, 0, loop)
+        f.emit(Opcode.HALT)
+        p = b.build()
+        q = assemble(
+            """
+            .func main 0
+                li r0, 3
+            loop:
+                addi r0, r0, -1
+                br r0, loop
+                halt
+            .end
+            """
+        )
+        assert [i.format() for i in p.code] == [i.format() for i in q.code]
+
+    def test_func_ref_by_name(self):
+        b = ProgramBuilder()
+        main = b.function("main")
+        main.emit(Opcode.CALL, "helper")
+        main.emit(Opcode.LI, 0, "helper")  # function-id immediate
+        main.emit(Opcode.HALT)
+        h = b.function("helper")
+        h.emit(Opcode.RET)
+        p = b.build()
+        assert p.code[0].operands == (1,)
+        assert p.code[1].operands == (0, 1)
+
+    def test_unplaced_label_rejected(self):
+        b = ProgramBuilder()
+        f = b.function("main")
+        ghost = f.label()
+        f.emit(Opcode.JMP, ghost)
+        f.emit(Opcode.HALT)
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_wrong_arity_rejected(self):
+        b = ProgramBuilder()
+        f = b.function("main")
+        with pytest.raises(ProgramError):
+            f.emit(Opcode.ADD, 0, 1)
+
+
+# --- CFG --------------------------------------------------------------------
+DIAMOND = """
+.func main 0
+    in r0, 0
+    brz r0, els
+    li r1, 1
+    jmp join
+els:
+    li r1, 2
+join:
+    out r1, 1
+    halt
+.end
+"""
+
+
+class TestCFG:
+    def test_diamond_blocks(self):
+        p = assemble(DIAMOND)
+        cfg = CFG(p, p.functions["main"])
+        assert len(cfg.blocks) == 4
+        b0, b1, b2, b3 = cfg.blocks
+        assert b0.succs == [2, 1]  # brz: target then fallthrough (order-insensitive check below)
+        assert set(b0.succs) == {1, 2}
+        assert b1.succs == [3]
+        assert b2.succs == [3]
+        assert b3.succs == []
+
+    def test_call_does_not_split_block(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 1
+                call helper
+                li r1, 2
+                halt
+            .end
+            .func helper 0
+                ret
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        assert len(cfg.blocks) == 1
+
+    def test_block_of_maps_every_instruction(self):
+        p = assemble(DIAMOND)
+        cfg = CFG(p, p.functions["main"])
+        fn = p.functions["main"]
+        for idx in range(fn.entry, fn.end):
+            bid = cfg.block_of[idx]
+            assert idx in cfg.blocks[bid]
+
+    def test_exit_blocks(self):
+        p = assemble(DIAMOND)
+        cfg = CFG(p, p.functions["main"])
+        assert cfg.exit_blocks() == [3]
+
+    def test_loop_back_edge(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 5
+            loop:
+                addi r0, r0, -1
+                br r0, loop
+                halt
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        body = cfg.blocks[1]
+        assert 1 in body.succs  # self loop
+
+    def test_build_cfgs_covers_all_functions(self):
+        p = assemble(SIMPLE + "\n.func aux 0\n    ret\n.end\n")
+        cfgs = build_cfgs(p)
+        assert set(cfgs) == {"main", "aux"}
+
+
+# --- dominance ----------------------------------------------------------------
+class TestDominance:
+    def _diamond(self):
+        p = assemble(DIAMOND)
+        cfg = CFG(p, p.functions["main"])
+        return cfg, Dominance(cfg)
+
+    def test_idom_diamond(self):
+        cfg, dom = self._diamond()
+        assert dom.idom[1] == 0
+        assert dom.idom[2] == 0
+        assert dom.idom[3] == 0
+
+    def test_ipdom_diamond(self):
+        cfg, dom = self._diamond()
+        assert dom.immediate_postdominator(0) == 3
+        assert dom.immediate_postdominator(1) == 3
+        assert dom.immediate_postdominator(2) == 3
+        assert dom.immediate_postdominator(3) == EXIT_BLOCK
+
+    def test_postdominates(self):
+        cfg, dom = self._diamond()
+        assert dom.postdominates(3, 0)
+        assert dom.postdominates(3, 1)
+        assert not dom.postdominates(1, 0)
+        assert dom.postdominates(2, 2)
+
+    def test_dominates(self):
+        cfg, dom = self._diamond()
+        assert dom.dominates(0, 3)
+        assert not dom.dominates(1, 3)
+
+    def test_control_dependence_diamond(self):
+        cfg, dom = self._diamond()
+        cd = dom.control_dependence()
+        assert cd[1] == {0}
+        assert cd[2] == {0}
+        assert cd[3] == set()
+
+    def test_control_dependence_loop_self(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 5
+            loop:
+                addi r0, r0, -1
+                br r0, loop
+                halt
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        cd = Dominance(cfg).control_dependence()
+        assert cd[1] == {1}
+
+    def test_branch_ipdom_table(self):
+        p = assemble(DIAMOND)
+        cfg = CFG(p, p.functions["main"])
+        dom = Dominance(cfg)
+        table = branch_ipdom_table(cfg, dom)
+        # the brz at global index 1 reconverges at the 'join' block start
+        assert table == {1: cfg.blocks[3].start}
+
+    def test_infinite_loop_function(self):
+        # No exit: post-dominance must still terminate and be sane.
+        p = assemble(
+            """
+            .func main 0
+            spin:
+                jmp spin
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        dom = Dominance(cfg)
+        assert dom.immediate_postdominator(0) in (EXIT_BLOCK, 0)
+
+
+# --- static dataflow ---------------------------------------------------------
+class TestStaticDataflow:
+    def test_in_block_chain_is_static(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 1
+                li r1, 2
+                add r2, r0, r1
+                add r3, r2, r0
+                halt
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        flow = block_dataflow(cfg, 0)
+        assert flow.static_edges[2] == {0: 0, 1: 1}
+        assert flow.static_edges[3] == {2: 2, 0: 0}
+        assert flow.dynamic_use_count == 0
+
+    def test_live_in_uses_are_dynamic(self):
+        p = assemble(
+            """
+            .func main 0
+                add r2, r0, r1
+                halt
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        flow = block_dataflow(cfg, 0)
+        assert flow.live_in_uses[0] == (0, 1)
+        assert flow.static_dep_count == 0
+
+    def test_call_kills_definitions(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 1
+                call helper
+                add r1, r0, r0
+                halt
+            .end
+            .func helper 0
+                ret
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        flow = block_dataflow(cfg, 0)
+        # after the call, r0's definition is unknown statically
+        assert 2 not in flow.static_edges
+        assert flow.live_in_uses[2] == (0, 0)
+
+    def test_push_pop_sp_chain(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 7
+                push r0
+                pop r1
+                halt
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        flow = block_dataflow(cfg, 0)
+        # pop's implicit sp use is satisfied by push's implicit sp def
+        assert flow.static_edges[2][SP] == 1
+        # push's sp use is live-in (first touch)
+        assert SP in flow.live_in_uses[1]
+
+    def test_path_dataflow_across_blocks(self):
+        p = assemble(
+            """
+            .func main 0
+                li r0, 1
+                brz r0, skip
+                add r1, r0, r0
+            skip:
+                halt
+            .end
+            """
+        )
+        cfg = CFG(p, p.functions["main"])
+        flow = path_dataflow(cfg, [0, 1])
+        # r0 defined in block 0, used in block 1: static along the path
+        assert flow.static_edges[2] == {0: 0}
+
+    def test_path_dataflow_requires_connected_blocks(self):
+        p = assemble(DIAMOND)
+        cfg = CFG(p, p.functions["main"])
+        with pytest.raises(ValueError):
+            path_dataflow(cfg, [1, 2])
+
+    def test_num_regs_sane(self):
+        assert 0 < SP < NUM_REGS

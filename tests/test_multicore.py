@@ -1,0 +1,157 @@
+"""Unit tests for helper-core DIFT: channel models, queue simulation,
+dual-core timing, detection parity with inline DIFT."""
+
+import pytest
+
+from repro.dift import BoolTaintPolicy, DIFTEngine, PCTaintPolicy
+from repro.lang import compile_source
+from repro.multicore import (
+    ChannelModel,
+    HelperCoreDIFT,
+    QueueSimulator,
+    hardware_interconnect,
+    shared_memory_channel,
+)
+from repro.vm import Machine, RunStatus
+from repro.workloads.spec_like import matmul
+
+
+TAINT_HEAVY = """
+global data[64];
+fn main() {
+    var seed = in(0);
+    var i = 0;
+    while (i < 64) {
+        data[i] = seed + i;
+        i = i + 1;
+    }
+    var s = 0;
+    i = 0;
+    while (i < 64) { s = s + data[i]; i = i + 1; }
+    out(s, 1);
+}
+"""
+
+
+def run_helper(src_or_workload, channel, policy=None, inputs=None):
+    if isinstance(src_or_workload, str):
+        cp = compile_source(src_or_workload)
+        m = Machine(cp.program)
+        for chan, values in (inputs or {}).items():
+            m.io.provide(chan, values)
+    else:
+        m = src_or_workload.runner().machine()
+    helper = HelperCoreDIFT(policy or BoolTaintPolicy(), channel=channel).attach(m)
+    res = m.run()
+    return m, helper, res
+
+
+class TestChannels:
+    def test_models_have_expected_cost_ordering(self):
+        hw = hardware_interconnect()
+        sw = shared_memory_channel()
+        assert hw.enqueue_cycles < sw.enqueue_cycles
+        assert hw.capacity < sw.capacity
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelModel("bad", 1, 1, 0)
+
+
+class TestQueueSimulator:
+    def test_no_stall_when_helper_keeps_up(self):
+        q = QueueSimulator(ChannelModel("x", 1, 1, 8))
+        for t in range(0, 1000, 10):  # slow producer
+            assert q.enqueue(t, service_cycles=2) == 0
+        assert q.stall_cycles == 0
+
+    def test_stall_on_full_queue(self):
+        q = QueueSimulator(ChannelModel("x", 1, 1, 2))
+        stalls = [q.enqueue(0, service_cycles=100) for _ in range(5)]
+        assert sum(stalls) > 0
+        assert q.stall_cycles == sum(stalls)
+
+    def test_helper_time_monotone(self):
+        q = QueueSimulator(ChannelModel("x", 1, 1, 64))
+        last = 0
+        for t in range(20):
+            q.enqueue(t, service_cycles=3)
+            assert q.helper_free >= last
+            last = q.helper_free
+
+    def test_drain_after_producer_finishes(self):
+        q = QueueSimulator(ChannelModel("x", 1, 1, 64))
+        q.enqueue(0, service_cycles=50)
+        assert q.drain(10) > 0
+        assert q.drain(10_000) == 0
+
+
+class TestHelperCoreDIFT:
+    def test_overhead_between_zero_and_inline(self):
+        w = matmul(6)
+        runner = w.runner()
+        m_inline = runner.machine()
+        DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(m_inline)
+        inline = m_inline.run()
+        inline_overhead = inline.cycles.slowdown - 1.0
+
+        m, helper, res = run_helper(w, hardware_interconnect())
+        report = helper.report()
+        assert 0 < report.overhead < inline_overhead
+
+    def test_sw_channel_costs_more_than_hw(self):
+        w = matmul(6)
+        _, hw_helper, _ = run_helper(w, hardware_interconnect())
+        _, sw_helper, _ = run_helper(w, shared_memory_channel())
+        assert sw_helper.report().overhead > hw_helper.report().overhead
+
+    def test_one_message_per_instruction(self):
+        m, helper, res = run_helper(TAINT_HEAVY, hardware_interconnect(), inputs={0: [3]})
+        assert helper.queue.messages == res.instructions
+
+    def test_tiny_queue_stalls_the_main_core(self):
+        tiny = ChannelModel("tiny", 1, 4, 1)
+        m, helper, _ = run_helper(TAINT_HEAVY, tiny, inputs={0: [3]})
+        assert helper.report().stall_cycles > 0
+
+    def test_detection_parity_with_inline(self):
+        # The helper engine must catch the same attack the inline engine does.
+        src = """
+        fn safe(x) { out(1, 1); }
+        fn admin(x) { out(2, 1); }
+        fn main() {
+            var fp = alloc(1);
+            fp[0] = in(0);      // directly attacker-controlled pointer
+            icall(fp[0], 0);
+        }
+        """
+        cp = compile_source(src)
+        m = Machine(cp.program)
+        m.io.provide(0, [1])  # admin's fid
+        helper = HelperCoreDIFT(PCTaintPolicy()).attach(m)
+        res = m.run()
+        assert res.status is RunStatus.FAILED
+        assert res.failure.kind == "attack_detected"
+        assert len(helper.alerts) == 1
+
+    def test_shadow_state_matches_inline_engine(self):
+        cp = compile_source(TAINT_HEAVY)
+
+        def shadow_of(engine_factory):
+            m = Machine(cp.program)
+            m.io.provide(0, [3])
+            tool = engine_factory(m)
+            m.run()
+            return tool
+
+        inline = shadow_of(lambda m: DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(m))
+        helper = shadow_of(lambda m: HelperCoreDIFT(BoolTaintPolicy(), sinks=[]).attach(m))
+        assert inline.shadow.mem == helper.shadow.mem
+        assert inline.shadow.regs == helper.shadow.regs
+
+    def test_report_totals_consistent(self):
+        m, helper, res = run_helper(TAINT_HEAVY, hardware_interconnect(), inputs={0: [1]})
+        report = helper.report()
+        assert report.total_cycles == report.main_cycles + report.drain_cycles
+        assert report.base_cycles == res.cycles.base
+        assert report.main_cycles == res.cycles.total

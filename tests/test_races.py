@@ -1,0 +1,152 @@
+"""Unit tests for race detection: lockset/HB baseline, flag-sync
+recognition, sync-aware filtering against kernel ground truth."""
+
+from repro.ontrac import OnlineTracer, OntracConfig
+from repro.races import (
+    RaceDetector,
+    SyncAwareRaceDetector,
+    SyncHistory,
+    SyncRecognizer,
+)
+from repro.reduction import CheckpointingLogger
+from repro.workloads.splash_like import (
+    flag_sync_kernel,
+    locked_counter_kernel,
+    mixed_kernel,
+    race_kernels,
+    true_race_kernel,
+)
+
+
+def analyze(kernel):
+    runner = kernel.runner()
+    machine = runner.machine()
+    tracer = OnlineTracer(
+        runner.program, OntracConfig(buffer_bytes=1 << 23, record_war_waw=True)
+    ).attach(machine)
+    logger = CheckpointingLogger(checkpoint_interval=1 << 30).attach(machine)
+    recognizer = SyncRecognizer()
+    machine.hooks.subscribe(recognizer)
+    machine.run(max_instructions=runner.max_instructions)
+    log = logger.finalize()
+    ddg = tracer.dependence_graph()
+    history = SyncHistory.from_event_log(log)
+    detector = RaceDetector(ddg, history)
+    aware = SyncAwareRaceDetector(detector, recognizer.flag_syncs)
+    return kernel, detector, aware, recognizer
+
+
+def reported_lines(kernel, reports):
+    lines = set()
+    for r in reports:
+        for pc in (r.dependence.consumer_pc, r.dependence.producer_pc):
+            line = kernel.compiled.line_of(pc)
+            if line:
+                lines.add(line)
+    return lines
+
+
+class TestSyncHistory:
+    def test_lock_regions_extracted(self):
+        kernel, detector, _, _ = analyze(locked_counter_kernel())
+        history = detector.history
+        assert history.lock_regions  # both workers locked
+        for tid, regions in history.lock_regions.items():
+            for lock_id, acq, rel in regions:
+                assert acq < rel
+
+    def test_spawn_and_join_extracted(self):
+        kernel, detector, _, _ = analyze(true_race_kernel())
+        assert 1 in detector.history.spawns
+        assert detector.history.joins
+
+
+class TestBaselineDetector:
+    def test_locked_counter_no_races(self):
+        kernel, detector, _, _ = analyze(locked_counter_kernel())
+        assert detector.races() == []
+
+    def test_lock_filter_reason_recorded(self):
+        kernel, detector, _, _ = analyze(locked_counter_kernel())
+        filtered = [r for r in detector.detect() if r.filtered]
+        assert any("lock" in r.filtered for r in filtered)
+
+    def test_true_race_reported(self):
+        kernel, detector, _, _ = analyze(true_race_kernel())
+        races = detector.races()
+        assert races
+        lines = reported_lines(kernel, races)
+        assert lines & kernel.racy_lines
+
+    def test_join_orders_accesses(self):
+        # A write in the child and a read after join must not be a race.
+        from repro.lang import compile_source
+        from repro.runner import ProgramRunner
+
+        src = """
+        global cell;
+        fn writer(v) { cell = v; }
+        fn main() {
+            var t = spawn(writer, 5);
+            join(t);
+            out(cell, 1);
+        }
+        """
+        cp = compile_source(src)
+        runner = ProgramRunner(cp.program)
+        machine = runner.machine()
+        tracer = OnlineTracer(cp.program, OntracConfig(record_war_waw=True)).attach(machine)
+        logger = CheckpointingLogger(checkpoint_interval=1 << 30).attach(machine)
+        machine.run()
+        detector = RaceDetector(
+            tracer.dependence_graph(), SyncHistory.from_event_log(logger.finalize())
+        )
+        assert detector.races() == []
+
+
+class TestSyncRecognizer:
+    def test_flag_spin_recognized(self):
+        kernel, _, _, recognizer = analyze(flag_sync_kernel())
+        assert recognizer.flag_syncs
+        sync = recognizer.flag_syncs[0]
+        assert sync.setter_tid != sync.waiter_tid
+        assert sync.spins >= recognizer.spin_threshold
+
+    def test_no_spins_in_lock_kernel(self):
+        kernel, _, _, recognizer = analyze(locked_counter_kernel())
+        assert recognizer.flag_syncs == []
+
+
+class TestSyncAwareFiltering:
+    def test_flag_kernel_fully_filtered(self):
+        kernel, _, aware, _ = analyze(flag_sync_kernel())
+        result = aware.detect()
+        assert result.reported == []
+        assert result.filtered_flag_accesses or result.filtered_by_flag_ordering
+
+    def test_mixed_kernel_keeps_only_true_race(self):
+        kernel, _, aware, _ = analyze(mixed_kernel())
+        result = aware.detect()
+        lines = reported_lines(kernel, result.reported)
+        assert lines & kernel.racy_lines
+        assert not lines & kernel.flag_lines
+
+    def test_filter_counts_add_up(self):
+        kernel, _, aware, _ = analyze(mixed_kernel())
+        result = aware.detect()
+        assert result.baseline_count == (
+            len(result.reported)
+            + len(result.filtered_flag_accesses)
+            + len(result.filtered_by_flag_ordering)
+            + len(result.filtered_by_locks_or_hb)
+        )
+
+    def test_ground_truth_on_all_kernels(self):
+        for kernel in race_kernels():
+            _, _, aware, _ = analyze(kernel)
+            result = aware.detect()
+            lines = reported_lines(kernel, result.reported)
+            if kernel.racy_lines:
+                assert lines & kernel.racy_lines, f"{kernel.name}: true race missed"
+            else:
+                assert not result.reported, f"{kernel.name}: false positives {lines}"

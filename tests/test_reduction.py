@@ -1,0 +1,199 @@
+"""Unit tests for checkpointing & logging, deterministic replay, and
+execution reduction."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.ontrac import OntracConfig
+from repro.reduction import (
+    CheckpointingLogger,
+    ExecutionReducer,
+    Replayer,
+    SyncEvent,
+)
+from repro.runner import ProgramRunner
+from repro.vm import RandomScheduler, RunStatus
+from repro.workloads.server import build_server
+
+
+MULTI = """
+global counter;
+fn worker(n) {
+    var i = 0;
+    while (i < n) {
+        lock(1);
+        counter = counter + 1;
+        unlock(1);
+        i = i + 1;
+    }
+}
+fn main() {
+    var a = spawn(worker, 15);
+    var b = spawn(worker, 15);
+    join(a);
+    join(b);
+    out(counter, 1);
+}
+"""
+
+
+def logged_run(src_or_runner, interval=2000, scheduler_factory=None, inputs=None):
+    if isinstance(src_or_runner, str):
+        cp = compile_source(src_or_runner)
+        runner = ProgramRunner(cp.program, inputs=inputs or {},
+                               scheduler_factory=scheduler_factory)
+    else:
+        runner = src_or_runner
+    machine = runner.machine()
+    logger = CheckpointingLogger(checkpoint_interval=interval).attach(machine)
+    result = machine.run(max_instructions=runner.max_instructions)
+    return runner, machine, logger.finalize(), result
+
+
+class TestLogging:
+    def test_log_contents(self):
+        runner, machine, log, result = logged_run(MULTI)
+        assert result.status is RunStatus.HALTED or result.status is RunStatus.EXITED
+        kinds = {e.kind for e in log.syncs}
+        assert {"spawn", "lock", "unlock", "join", "join-exit"} <= kinds
+        assert log.schedule == result.schedule
+        assert log.final_seq == result.instructions
+        assert log.checkpoints[0].seq == 0  # initial checkpoint always exists
+
+    def test_periodic_checkpoints(self):
+        _, _, log, result = logged_run(MULTI, interval=500)
+        assert len(log.checkpoints) >= result.instructions // 500
+        seqs = [cp.seq for cp in log.checkpoints]
+        assert seqs == sorted(seqs)
+
+    def test_inputs_logged_with_positions(self):
+        _, _, log, _ = logged_run(
+            "fn main() { out(in(0) + in(0), 1); }", inputs={0: [1, 2]}
+        )
+        assert [(e.channel, e.value, e.index) for e in log.inputs] == [(0, 1, 0), (0, 2, 1)]
+
+    def test_logging_is_cheap(self):
+        scenario = build_server(workers=2, requests=40, busywork=8)
+        _, _, _, result = logged_run(scenario.runner(), interval=5000)
+        assert result.cycles.slowdown < 2.0  # the paper's bound
+
+    def test_failure_recorded(self):
+        _, _, log, result = logged_run("fn main() { fail(1); }")
+        assert log.failure_seq >= 0
+        assert log.failure_kind == "fail"
+
+    def test_no_checkpoint_after_failure(self):
+        scenario = build_server(workers=2, requests=40, busywork=8)
+        _, _, log, result = logged_run(scenario.runner(), interval=100)
+        assert all(cp.seq <= log.failure_seq for cp in log.checkpoints)
+
+    def test_last_checkpoint_before(self):
+        _, _, log, _ = logged_run(MULTI, interval=300)
+        cp = log.last_checkpoint_before(log.final_seq)
+        assert cp is not None and cp.seq <= log.final_seq
+
+
+class TestReplay:
+    def test_full_replay_reproduces_output(self):
+        factory = lambda: RandomScheduler(seed=5, min_quantum=1, max_quantum=9)
+        runner, machine, log, result = logged_run(MULTI, scheduler_factory=factory)
+        replayer = Replayer(runner.program, log)
+        outcome = replayer.replay()
+        assert outcome.machine.io.output(1) == machine.io.output(1)
+        assert outcome.result.schedule == result.schedule
+
+    def test_replay_from_mid_checkpoint(self):
+        runner, machine, log, result = logged_run(MULTI, interval=200)
+        assert len(log.checkpoints) >= 2
+        mid = log.checkpoints[len(log.checkpoints) // 2]
+        outcome = replay = Replayer(runner.program, log).replay(checkpoint=mid)
+        assert outcome.machine.io.output(1) == machine.io.output(1)
+        assert outcome.replayed_instructions < result.instructions
+
+    def test_replay_reproduces_failure(self):
+        scenario = build_server(workers=2, requests=50, busywork=8)
+        runner, machine, log, result = logged_run(scenario.runner(), interval=4000)
+        assert result.failed
+        outcome = Replayer(runner.program, log).replay(
+            checkpoint=log.last_checkpoint_before(log.failure_seq)
+        )
+        assert outcome.reproduced_failure
+        assert outcome.result.failure.kind == result.failure.kind
+
+    def test_replay_with_hooks_observes_only_suffix(self):
+        from repro.ontrac import OnlineTracer
+
+        runner, machine, log, result = logged_run(MULTI, interval=200)
+        mid = log.checkpoints[-1]
+        tracer = OnlineTracer(runner.program, OntracConfig())
+        outcome = Replayer(runner.program, log).replay(checkpoint=mid, hooks=(tracer,))
+        assert tracer.stats.instructions == outcome.replayed_instructions
+        assert tracer.stats.instructions < result.instructions
+
+
+class TestExecutionReduction:
+    def _reduced(self, **server_kw):
+        scenario = build_server(**{"workers": 3, "requests": 90, "busywork": 8, **server_kw})
+        runner = scenario.runner()
+        machine = runner.machine()
+        logger = CheckpointingLogger(checkpoint_interval=4000).attach(machine)
+        machine.run()
+        log = logger.finalize()
+        return scenario, runner, log
+
+    def test_requires_a_failure(self):
+        cp = compile_source("fn main() { out(1, 1); }")
+        runner = ProgramRunner(cp.program)
+        machine = runner.machine()
+        logger = CheckpointingLogger().attach(machine)
+        machine.run()
+        with pytest.raises(ValueError):
+            ExecutionReducer(runner.program, logger.finalize())
+
+    def test_plan_picks_late_checkpoint_and_victim_thread(self):
+        scenario, runner, log = self._reduced()
+        reducer = ExecutionReducer(runner.program, log)
+        plan = reducer.plan()
+        assert plan.checkpoint_seq > 0
+        victim_tid = scenario.victim + 1  # worker i runs as thread i+1
+        assert victim_tid in plan.include_tids
+        assert 0 in plan.include_tids  # main always relevant
+
+    def test_reduction_drops_unrelated_workers(self):
+        scenario, runner, log = self._reduced()
+        plan = ExecutionReducer(runner.program, log).plan()
+        assert len(plan.include_tids) < scenario.workers + 1
+
+    def test_reduced_replay_reproduces_and_shrinks(self):
+        scenario, runner, log = self._reduced()
+        reducer = ExecutionReducer(runner.program, log)
+        outcome = reducer.reduce_and_trace(OntracConfig(buffer_bytes=1 << 24))
+        assert outcome.replay.reproduced_failure
+        assert outcome.replayed_fraction < 0.5
+        assert outcome.traced_dependences > 0
+
+    def test_back_checkpoints_widens_window(self):
+        scenario, runner, log = self._reduced()
+        reducer = ExecutionReducer(runner.program, log)
+        near = reducer.reduce_and_trace(OntracConfig(buffer_bytes=1 << 24))
+        far = reducer.reduce_and_trace(OntracConfig(buffer_bytes=1 << 24), back_checkpoints=2)
+        assert far.replay.replayed_instructions > near.replay.replayed_instructions
+        assert far.replay.reproduced_failure
+
+    def test_relevant_threads_closure_over_locks(self):
+        log_syncs = [
+            SyncEvent("lock", 10, 2, 7),
+            SyncEvent("lock", 20, 3, 7),  # t3 shares lock 7 with t2
+            SyncEvent("lock", 30, 4, 9),  # t4 uses an unrelated lock
+        ]
+        from repro.reduction.logging import EventLog
+
+        log = EventLog(syncs=log_syncs, failure_seq=100, failure_kind="assert",
+                       failure_tid=2, final_seq=200)
+        log.checkpoints = []  # not needed for relevant_threads
+        cp = compile_source("fn main() { out(1, 1); }")
+        reducer = ExecutionReducer.__new__(ExecutionReducer)
+        reducer.log = log
+        relevant = ExecutionReducer.relevant_threads(reducer, from_seq=0)
+        assert {0, 2, 3} <= relevant
+        assert 4 not in relevant

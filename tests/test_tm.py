@@ -1,0 +1,165 @@
+"""Unit tests for the TM monitoring simulation: transactions, conflicts,
+rollback, livelocks, synchronization-aware resolution."""
+
+import pytest
+
+from repro.tm import (
+    Op,
+    OpKind,
+    ParallelWorkload,
+    Resolution,
+    ThreadProgram,
+    TMConfig,
+    TransactionalMonitor,
+    unmonitored_cycles,
+)
+from repro.workloads.splash_like import barrier_stencil, flag_pipeline, lock_reduction, tm_kernels
+
+
+def monitor(workload, resolution=Resolution.NAIVE, **cfg):
+    config = TMConfig(resolution=resolution, **cfg)
+    return TransactionalMonitor(workload, config).run()
+
+
+def two_threads(ops0, ops1, barriers=None, name="test"):
+    return ParallelWorkload(
+        name,
+        [ThreadProgram(0, ops0), ThreadProgram(1, ops1)],
+        barriers=barriers or {},
+    )
+
+
+class TestBasics:
+    def test_single_thread_completes(self):
+        w = two_threads([Op.write(1), Op.read(1), Op.local(3)], [])
+        res = monitor(w)
+        assert res.completed and not res.livelock
+        assert res.commits >= 1
+        assert res.aborts == 0
+
+    def test_unmonitored_cycles(self):
+        w = two_threads([Op.local(5), Op.write(1)], [Op.local(2)])
+        assert unmonitored_cycles(w) == 8
+
+    def test_monitoring_overhead_positive(self):
+        w = two_threads([Op.write(i) for i in range(10)], [Op.read(100 + i) for i in range(10)])
+        res = monitor(w)
+        assert res.overhead > 0
+
+    def test_disjoint_threads_no_conflicts(self):
+        w = two_threads([Op.write(i) for i in range(20)],
+                        [Op.write(100 + i) for i in range(20)])
+        res = monitor(w)
+        assert res.completed and res.aborts == 0
+
+    def test_writes_visible_after_commit(self):
+        w = two_threads([Op.write(5)], [])
+        tm = TransactionalMonitor(w, TMConfig())
+        tm.run()
+        assert 5 in tm.memory  # flushed at thread completion
+
+    def test_op_constructors(self):
+        assert Op.read(3).kind is OpKind.READ
+        assert Op.lock(1).target == 1
+        assert Op.local(7).cost == 7
+
+
+class TestConflicts:
+    def test_write_write_conflict_aborts(self):
+        # Both threads hammer the same cell in long transactions.
+        w = two_threads(
+            [Op.write(1), Op.local(1)] * 10,
+            [Op.write(1), Op.local(1)] * 10,
+        )
+        res = monitor(w, txn_ops=8)
+        assert res.aborts > 0
+
+    def test_rollback_discards_buffered_writes(self):
+        # Thread 1's conflicting txn must not leak its buffered write.
+        w = two_threads(
+            [Op.read(1)] * 6 + [Op.local(2)] * 4,
+            [Op.write(1), Op.write(2)] + [Op.local(1)] * 4,
+        )
+        tm = TransactionalMonitor(w, TMConfig(txn_ops=4))
+        res = tm.run()
+        # whatever happened, committed memory only contains committed txns
+        assert res.completed or res.livelock
+
+    def test_wasted_ops_counted(self):
+        w = two_threads(
+            [Op.write(1), Op.local(1)] * 8,
+            [Op.write(1), Op.local(1)] * 8,
+        )
+        res = monitor(w, txn_ops=8)
+        if res.aborts:
+            assert res.wasted_ops >= 0
+
+
+class TestLivelocks:
+    def test_flag_spin_livelocks_naive(self):
+        w = two_threads(
+            [Op.local(3)] + [Op.write(10 + i) for i in range(6)] + [Op.flag_set(99)],
+            [Op.flag_wait(99), Op.read(10)],
+            name="flag",
+        )
+        res = monitor(w, resolution=Resolution.NAIVE, txn_ops=16, max_steps=20_000)
+        assert res.livelock and not res.completed
+
+    def test_flag_spin_completes_sync_aware(self):
+        w = two_threads(
+            [Op.local(3)] + [Op.write(10 + i) for i in range(6)] + [Op.flag_set(99)],
+            [Op.flag_wait(99), Op.read(10)],
+            name="flag",
+        )
+        res = monitor(w, resolution=Resolution.SYNC_AWARE, txn_ops=16)
+        assert res.completed and not res.livelock
+        assert res.detected_spins >= 1
+
+    def test_barrier_livelock_naive_vs_sync_aware(self):
+        kernel = barrier_stencil(threads=3, cells_per_thread=10, phases=2)
+        naive = monitor(kernel, resolution=Resolution.NAIVE, max_steps=50_000)
+        aware = monitor(kernel, resolution=Resolution.SYNC_AWARE)
+        assert naive.livelock
+        assert aware.completed and not aware.livelock
+
+    def test_sync_aware_cheaper_when_both_complete(self):
+        # Short transactions let the naive policy finish the flag kernel;
+        # sync-aware must still be no worse.
+        kernel = flag_pipeline(stages=2, items=3)
+        naive = monitor(kernel, resolution=Resolution.NAIVE, txn_ops=2, max_steps=100_000)
+        aware = monitor(kernel, resolution=Resolution.SYNC_AWARE, txn_ops=2)
+        assert aware.completed
+        if naive.completed:
+            assert aware.monitored_cycles <= naive.monitored_cycles * 1.5
+
+    def test_suite_kernels_all_complete_sync_aware(self):
+        for kernel in tm_kernels():
+            res = monitor(kernel, resolution=Resolution.SYNC_AWARE)
+            assert res.completed, kernel.name
+            assert not res.livelock
+
+
+class TestSyncOps:
+    def test_lock_mutual_exclusion(self):
+        kernel = lock_reduction(threads=2, iterations=5)
+        res = monitor(kernel, resolution=Resolution.SYNC_AWARE)
+        assert res.completed
+
+    def test_barrier_requires_all_parties(self):
+        # One thread never arrives: no progress -> reported as livelock.
+        w = ParallelWorkload(
+            "half-barrier",
+            [
+                ThreadProgram(0, [Op.barrier(1)]),
+                ThreadProgram(1, [Op.local(1)] * 3),  # never arrives
+            ],
+            barriers={1: 2},
+        )
+        res = monitor(w, resolution=Resolution.SYNC_AWARE, no_progress_limit=200,
+                      max_steps=5_000)
+        assert not res.completed
+
+    def test_detected_syncs_counted(self):
+        kernel = lock_reduction(threads=2, iterations=4)
+        res = monitor(kernel, resolution=Resolution.SYNC_AWARE)
+        assert res.detected_syncs > 0

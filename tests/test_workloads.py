@@ -1,0 +1,136 @@
+"""Unit tests for the workload corpora: SPEC-like kernels, the server,
+SPLASH-like kernels, scientific pipelines."""
+
+import pytest
+
+from repro.vm import RunStatus
+from repro.workloads import (
+    build_server,
+    lineage_suite,
+    race_kernels,
+    suite,
+    tm_kernels,
+)
+from repro.workloads.server import build_server as build
+from repro.workloads.spec_like import bfs, fsm, hashloop, matmul, rle, sort
+
+
+class TestSpecLike:
+    @pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+    def test_kernels_run_and_emit(self, workload):
+        machine, result = workload.runner().run()
+        assert result.status is RunStatus.EXITED
+        assert machine.io.output(1), workload.name
+
+    def test_deterministic_outputs(self):
+        for factory in (matmul, sort, hashloop, rle, bfs, fsm):
+            w1, w2 = factory(), factory()
+            m1, _ = w1.runner().run()
+            m2, _ = w2.runner().run()
+            assert m1.io.output(1) == m2.io.output(1), factory.__name__
+
+    def test_sort_actually_sorts(self):
+        w = sort(32)
+        machine, result = w.runner().run()
+        # the kernel asserts sortedness internally; reaching EXITED proves it
+        assert result.status is RunStatus.EXITED
+        first, last = machine.io.output(1)
+        assert first <= last
+
+    def test_scaling_increases_work(self):
+        small = matmul(4).runner().run()[1].instructions
+        large = matmul(8).runner().run()[1].instructions
+        assert large > 2 * small
+
+    def test_instruction_mixes_differ(self):
+        # The suite must cover different mixes for the tracing experiments.
+        stats = {w.name: w.compiled.program.stats() for w in suite()}
+        branch_ratio = {
+            name: s["branches"] / s["instructions"] for name, s in stats.items()
+        }
+        assert max(branch_ratio.values()) > 1.5 * min(branch_ratio.values())
+
+
+class TestServer:
+    def test_benign_completes_with_sentinel(self):
+        scenario = build_server(workers=2, requests=30, busywork=5, inject_failure=False)
+        machine, result = scenario.runner().run()
+        assert result.status is RunStatus.EXITED
+        assert machine.io.output(1)[-1] == 424242
+
+    def test_injected_failure_fails_in_victim(self):
+        scenario = build_server(workers=3, requests=60, busywork=5)
+        machine, result = scenario.runner().run()
+        assert result.failed
+        assert result.failure.kind == "assert"
+        assert result.failure.tid == scenario.victim + 1
+
+    def test_failure_is_late(self):
+        scenario = build_server(workers=2, requests=80, busywork=5)
+        _, result = scenario.runner().run()
+        benign = build_server(workers=2, requests=80, busywork=5, inject_failure=False)
+        _, full = benign.runner().run()
+        assert result.instructions > 0.5 * full.instructions
+
+    def test_corruption_precedes_detection(self):
+        scenario = build_server(workers=2, requests=60, busywork=5, check_gap=10)
+        assert scenario.requests[scenario.attack_at][1] == 1  # a put
+        follow_up = scenario.requests[scenario.attack_at + 10]
+        assert follow_up[0] == scenario.victim and follow_up[1] == 3
+
+    def test_request_stream_encoding(self):
+        scenario = build_server(workers=2, requests=10, inject_failure=False)
+        stream = scenario.inputs[0]
+        assert stream[-1] == -1
+        assert len(stream) == len(scenario.requests) * 4 + 1
+
+    def test_different_seeds_different_schedules(self):
+        a = build(workers=2, requests=30, seed=1, inject_failure=False)
+        b = build(workers=2, requests=30, seed=2, inject_failure=False)
+        assert a.requests != b.requests
+
+
+class TestSplashLike:
+    def test_tm_kernels_wellformed(self):
+        for kernel in tm_kernels():
+            assert kernel.total_ops > 0
+            tids = [t.tid for t in kernel.threads]
+            assert tids == sorted(set(tids))
+            for barrier_id, parties in kernel.barriers.items():
+                assert parties <= len(kernel.threads)
+
+    def test_race_kernels_run_clean(self):
+        for kernel in race_kernels():
+            machine, result = kernel.runner().run()
+            assert result.status is RunStatus.EXITED, kernel.name
+
+    def test_ground_truth_lines_exist(self):
+        for kernel in race_kernels():
+            source_lines = kernel.compiled.source.splitlines() if kernel.compiled.source else []
+            for line in kernel.racy_lines | kernel.flag_lines:
+                assert line >= 1
+
+
+class TestScientific:
+    @pytest.mark.parametrize("workload", lineage_suite(), ids=lambda w: w.name)
+    def test_pipelines_run(self, workload):
+        machine, result = workload.runner().run()
+        assert result.status is RunStatus.EXITED
+        assert len(machine.io.output(1)) == workload.n_outputs
+
+    @pytest.mark.parametrize("workload", lineage_suite(), ids=lambda w: w.name)
+    def test_expected_lineage_wellformed(self, workload):
+        n_inputs = len(workload.inputs[0])
+        for k in range(workload.n_outputs):
+            lineage = workload.expected_lineage(k)
+            assert lineage, f"{workload.name}: empty lineage for output {k}"
+            assert all(0 <= i < n_inputs for i in lineage)
+
+    def test_moving_average_values(self):
+        from repro.workloads.scientific import moving_average
+
+        w = moving_average(n=6, window=3)
+        machine, _ = w.runner().run()
+        values = w.inputs[0]
+        expected = [sum(values[k:k + 3]) // 3 for k in range(4)]
+        assert machine.io.output(1) == expected

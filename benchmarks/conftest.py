@@ -5,9 +5,36 @@ Every benchmark wraps one experiment runner from
 pytest-benchmark, then prints the reproduced table and the
 paper-vs-measured headline so `pytest benchmarks/ --benchmark-only -s`
 regenerates the paper's evaluation.
+
+Each reported result is also persisted as ``BENCH_<experiment>.json``
+(headline + telemetry metrics), so runs leave a machine-readable record
+next to the human-readable table.  Set ``REPRO_BENCH_REPORT_DIR`` to
+redirect the files (default: current working directory).
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
+
+
+def write_bench_json(result):
+    """Persist one ExperimentResult as BENCH_<experiment>.json."""
+    out_dir = Path(os.environ.get("REPRO_BENCH_REPORT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": result.experiment,
+        "claim": result.claim,
+        "headline": result.headline,
+        "metrics": result.metrics,
+        "notes": result.notes,
+    }
+    path = out_dir / f"BENCH_{result.experiment}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def report(result):
@@ -18,3 +45,5 @@ def report(result):
         print(f"notes: {result.notes}")
     headline = ", ".join(f"{k}={v:.3g}" for k, v in result.headline.items())
     print(f"headline: {headline}")
+    path = write_bench_json(result)
+    print(f"bench report: {path}")

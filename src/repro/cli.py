@@ -25,7 +25,26 @@ from .lang import CompileError, compile_source
 from .ontrac import OnlineTracer, OntracConfig
 from .runner import ProgramRunner
 from .slicing import backward_slice
+from .telemetry import NULL_TELEMETRY, Telemetry, build_report
 from .vm import Machine
+
+
+def _telemetry(args) -> Telemetry:
+    """Enabled telemetry iff the user asked for a report or a trace."""
+    if getattr(args, "report", None) or getattr(args, "trace", None):
+        return Telemetry.on()
+    return NULL_TELEMETRY
+
+
+def _write_outputs(args, telemetry: Telemetry, tool: str, result, extra: dict | None = None) -> None:
+    """Write --report / --trace files for one finished run."""
+    if getattr(args, "report", None):
+        report = build_report(tool, result, telemetry.registry, extra=extra)
+        report.write(args.report)
+        print(f"report written to {args.report}", file=sys.stderr)
+    if getattr(args, "trace", None):
+        telemetry.tracer.write(args.trace)
+        print(f"chrome trace written to {args.trace} (open in Perfetto)", file=sys.stderr)
 
 
 def _parse_inputs(pairs: list[str]) -> dict[int, list[int]]:
@@ -45,7 +64,8 @@ def _load(path: str):
 
 def cmd_run(args) -> int:
     compiled, _ = _load(args.file)
-    machine = Machine(compiled.program)
+    telemetry = _telemetry(args)
+    machine = Machine(compiled.program, telemetry=telemetry)
     for channel, values in _parse_inputs(args.input).items():
         machine.io.provide(channel, values)
     result = machine.run(max_instructions=args.max_instructions)
@@ -56,6 +76,7 @@ def cmd_run(args) -> int:
     print(f"cycles: {result.cycles.total}")
     for channel in sorted(machine.io.outputs):
         print(f"out[{channel}]: {machine.io.output(channel)}")
+    _write_outputs(args, telemetry, "run", result)
     return 1 if result.failed else 0
 
 
@@ -67,10 +88,12 @@ def cmd_disasm(args) -> int:
 
 def cmd_trace(args) -> int:
     compiled, _ = _load(args.file)
+    telemetry = _telemetry(args)
     runner = ProgramRunner(
         compiled.program,
         inputs=_parse_inputs(args.input),
         max_instructions=args.max_instructions,
+        telemetry=telemetry,
     )
     config = (
         OntracConfig.unoptimized(buffer_bytes=args.buffer)
@@ -90,15 +113,21 @@ def cmd_trace(args) -> int:
             print(f"  {reason}: {count}")
     ddg_stats = tracer.dependence_graph().stats()
     print(f"DDG: {ddg_stats}")
+    _write_outputs(
+        args, telemetry, "trace",
+        result, extra={"bytes_per_instruction": stats.bytes_per_instruction},
+    )
     return 0
 
 
 def cmd_slice(args) -> int:
     compiled, source = _load(args.file)
+    telemetry = _telemetry(args)
     runner = ProgramRunner(
         compiled.program,
         inputs=_parse_inputs(args.input),
         max_instructions=args.max_instructions,
+        telemetry=telemetry,
     )
     _, tracer, result = runner.run_traced(OntracConfig(buffer_bytes=args.buffer))
     ddg = tracer.dependence_graph()
@@ -123,12 +152,23 @@ def cmd_slice(args) -> int:
     for line in lines:
         text = source_lines[line - 1].strip() if line <= len(source_lines) else "?"
         print(f"  line {line:3d}: {text}")
+    _write_outputs(
+        args, telemetry, "slice", result,
+        extra={
+            "criterion_line": args.line,
+            "criterion_seq": criterion,
+            "slice_instances": len(sl.seqs),
+            "slice_lines": lines,
+            "truncated": sl.truncated,
+        },
+    )
     return 0
 
 
 def cmd_attack(args) -> int:
     compiled, source = _load(args.file)
-    machine = Machine(compiled.program)
+    telemetry = _telemetry(args)
+    machine = Machine(compiled.program, telemetry=telemetry)
     for channel, values in _parse_inputs(args.input).items():
         machine.io.provide(channel, values)
     policy = PCTaintPolicy() if args.policy == "pc" else BoolTaintPolicy()
@@ -136,6 +176,12 @@ def cmd_attack(args) -> int:
         if args.out_sink else [SinkRule(kind="icall")]
     engine = DIFTEngine(policy, sinks=sinks).attach(machine)
     result = machine.run(max_instructions=args.max_instructions)
+    if telemetry.enabled:
+        engine.publish_telemetry(telemetry.registry)
+    _write_outputs(
+        args, telemetry, "attack", result,
+        extra={"policy": args.policy, "alerts": len(engine.alerts)},
+    )
     if engine.alerts:
         alert = engine.alerts[0]
         print(f"ATTACK DETECTED: {alert}")
@@ -150,18 +196,36 @@ def cmd_attack(args) -> int:
 
 
 def cmd_experiments(args) -> int:
+    import json
+
     from .harness import ALL_EXPERIMENTS
 
     names = args.ids or sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:]))
+    results = []
     for name in names:
         if name not in ALL_EXPERIMENTS:
             print(f"error: unknown experiment {name}", file=sys.stderr)
             return 2
         result = ALL_EXPERIMENTS[name]()
+        results.append(result)
         print(result.table())
         if result.notes:
             print(f"notes: {result.notes}")
         print()
+    if getattr(args, "report", None):
+        payload = [
+            {
+                "experiment": r.experiment,
+                "claim": r.claim,
+                "headline": r.headline,
+                "metrics": r.metrics,
+            }
+            for r in results
+        ]
+        with open(args.report, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
     return 0
 
 
@@ -176,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--input", action="append", metavar="CH=V1,V2,...",
                        help="input channel values (repeatable)")
         p.add_argument("--max-instructions", type=int, default=10_000_000)
+        p.add_argument("--report", metavar="PATH",
+                       help="write a machine-readable run report (JSON) to PATH")
+        p.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace-event JSON (Perfetto) to PATH")
 
     p_run = sub.add_parser("run", help="compile & execute")
     common(p_run)
@@ -206,6 +274,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (E1..E12); default all")
+    p_exp.add_argument("--report", metavar="PATH",
+                       help="write per-experiment results + metrics (JSON) to PATH")
     p_exp.set_defaults(func=cmd_experiments)
     return parser
 
@@ -215,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except FileNotFoundError as exc:
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except CompileError as exc:

@@ -225,6 +225,22 @@ class DIFTEngine(Hook):
                 raise AttackDetected(str(alert), culprit_pc=culprit)
 
     # -- reporting -----------------------------------------------------------
+    def publish_telemetry(self, registry) -> None:
+        """Dump propagation/alert metrics into a
+        :class:`~repro.telemetry.MetricsRegistry`; call after the run."""
+        stats = self.stats
+        registry.counter("dift.instructions").inc(stats.instructions)
+        registry.counter("dift.propagations").inc(stats.tainted_instructions)
+        registry.counter("dift.sources").inc(stats.sources)
+        registry.counter("dift.sink_checks").inc(stats.sink_checks)
+        registry.counter("dift.alerts").inc(len(self.alerts))
+        registry.gauge("dift.taint_rate").set(stats.taint_rate)
+        registry.gauge("dift.tainted_locations.peak").set_max(self.shadow.peak_locations)
+        registry.gauge("dift.tainted_locations.final").set(
+            self.shadow.tainted_cells + self.shadow.tainted_regs
+        )
+        registry.gauge("dift.shadow_bytes").set(self.shadow.shadow_bytes)
+
     def memory_overhead(self, machine: Machine, guest_word_bytes: int = 4) -> float:
         """Shadow bytes / guest data bytes (the paper's "memory overhead")."""
         guest = max(1, machine.memory.footprint * guest_word_bytes)

@@ -20,6 +20,8 @@ class ShadowState:
     regs: dict[tuple[int, int], object] = field(default_factory=dict)
     #: address -> label, only for tainted cells.
     mem: dict[int, object] = field(default_factory=dict)
+    #: high-water mark of simultaneously tainted locations (regs + cells).
+    peak_locations: int = 0
 
     # -- registers -------------------------------------------------------
     def reg(self, tid: int, reg: int) -> object | None:
@@ -31,6 +33,7 @@ class ShadowState:
             self.regs.pop(key, None)
         else:
             self.regs[key] = label
+            self._bump_peak()
 
     # -- memory ------------------------------------------------------------
     def cell(self, addr: int) -> object | None:
@@ -41,6 +44,12 @@ class ShadowState:
             self.mem.pop(addr, None)
         else:
             self.mem[addr] = label
+            self._bump_peak()
+
+    def _bump_peak(self) -> None:
+        size = len(self.mem) + len(self.regs)
+        if size > self.peak_locations:
+            self.peak_locations = size
 
     def clear_range(self, base: int, size: int) -> None:
         """Untaint ``[base, base+size)`` (used when blocks are freed)."""

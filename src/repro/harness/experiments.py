@@ -26,6 +26,7 @@ from ..races import RaceDetector, SyncAwareRaceDetector, SyncHistory, SyncRecogn
 from ..reduction import CheckpointingLogger, ExecutionReducer
 from ..runner import ProgramRunner
 from ..slicing import backward_slice, find_implicit_dependences, relevant_slice
+from ..telemetry import MetricsRegistry
 from ..tm import Resolution, TMConfig, TransactionalMonitor
 from ..util.tables import format_table
 from ..workloads import (
@@ -46,6 +47,8 @@ class ExperimentResult:
     headers: list[str]
     rows: list[list] = field(default_factory=list)
     headline: dict[str, float] = field(default_factory=dict)
+    #: flat counter/gauge snapshot from the experiment's subsystems.
+    metrics: dict[str, float] = field(default_factory=dict)
     notes: str = ""
 
     def table(self) -> str:
@@ -90,6 +93,9 @@ def run_e1(scale: int = 1) -> ExperimentResult:
         "paper_online": 19.0,
         "paper_offline": 540.0,
     }
+    registry = MetricsRegistry()
+    tracer.publish_telemetry(registry)  # last workload's online tracer
+    result.metrics = registry.flat()
     return result
 
 
@@ -123,6 +129,9 @@ def run_e2(scale: int = 1) -> ExperimentResult:
         "paper_naive": 16.0,
         "paper_optimized": 0.8,
     }
+    registry = MetricsRegistry()
+    tracer.publish_telemetry(registry)  # fully-optimized config, last workload
+    result.metrics = registry.flat()
     return result
 
 
@@ -153,6 +162,9 @@ def run_e3(buffer_sizes: tuple[int, ...] = (4096, 16384, 65536), scale: int = 1)
         "extrapolated_window_at_16mb": per_kb * 16 * 1024,
         "paper_window_at_16mb": 20_000_000.0,
     }
+    registry = MetricsRegistry()
+    tracer.publish_telemetry(registry)  # largest buffer size
+    result.metrics = registry.flat()
     return result
 
 
@@ -200,6 +212,9 @@ def run_e4(scale: int = 1) -> ExperimentResult:
         "inline_overhead_pct": sum(inline_overheads) / len(inline_overheads),
         "paper_overhead_pct": 48.0,
     }
+    registry = MetricsRegistry()
+    helper.publish_telemetry(registry)  # sw channel, last workload
+    result.metrics = registry.flat()
     return result
 
 
@@ -261,6 +276,10 @@ def run_e5(workers: int = 3, requests: int = 150, checkpoint_interval: int = 800
         f"thread reduction kept {sorted(outcome.plan.include_tids)} of "
         f"{workers + 1} threads; fallback={outcome.fell_back_to_all_threads}"
     )
+    registry = MetricsRegistry()
+    logger.publish_telemetry(registry)
+    outcome.publish_telemetry(registry)
+    result.metrics = registry.flat()
     return result
 
 
@@ -275,9 +294,12 @@ def run_e6() -> ExperimentResult:
     )
     livelocks = {"naive": 0, "sync_aware": 0}
     overheads = {"naive": [], "sync_aware": []}
+    registry = MetricsRegistry()
     for kernel in tm_kernels():
         for policy in (Resolution.NAIVE, Resolution.SYNC_AWARE):
             res = TransactionalMonitor(kernel, TMConfig(resolution=policy)).run()
+            if policy is Resolution.SYNC_AWARE:
+                res.publish_telemetry(registry)
             livelocks[policy.value] += int(res.livelock)
             if res.completed:
                 overheads[policy.value].append(res.overhead)
@@ -298,6 +320,7 @@ def run_e6() -> ExperimentResult:
             sum(overheads["sync_aware"]) / max(1, len(overheads["sync_aware"]))
         ),
     }
+    result.metrics = registry.flat()  # sync-aware runs, summed over kernels
     return result
 
 
@@ -314,6 +337,7 @@ def run_e7() -> ExperimentResult:
         ],
     )
     found, total_verifications = 0, 0
+    registry = MetricsRegistry()
     for bug in by_category("omission"):
         runner = bug.runner()
         machine, tracer, _ = runner.run_traced(OntracConfig(buffer_bytes=1 << 22))
@@ -334,6 +358,9 @@ def run_e7() -> ExperimentResult:
         has_bug = bool(implicit_lines & bug.bug_lines)
         found += int(has_bug)
         total_verifications += search.verifications
+        registry.counter("slicing.verification_runs").inc(search.verifications)
+        registry.counter("slicing.implicit_candidates").inc(len(search.candidate_seqs))
+        registry.counter("slicing.relevant_slice_instances").inc(len(rel))
         result.rows.append(
             [
                 bug.name,
@@ -350,6 +377,7 @@ def run_e7() -> ExperimentResult:
         "omission_bugs_total": float(n),
         "avg_verifications": total_verifications / n,
     }
+    result.metrics = registry.flat()
     return result
 
 
@@ -363,6 +391,7 @@ def run_e8(max_replacements: int = 300) -> ExperimentResult:
         headers=["bug", "category", "ivmps", "tried", "bug line rank", "slice has bug"],
     )
     ranked_top2 = 0
+    registry = MetricsRegistry()
     bugs = by_category("value") + by_category("omission")
     for bug in bugs:
         ranker = ValueReplacementRanker(
@@ -380,6 +409,8 @@ def run_e8(max_replacements: int = 300) -> ExperimentResult:
         except ValueError:
             slice_has = False
         ranked_top2 += int(rank <= 2)
+        registry.counter("faultloc.ivmps").inc(len(report.ivmps))
+        registry.counter("faultloc.replacements_tried").inc(report.replacements_tried)
         result.rows.append(
             [bug.name, bug.category, len(report.ivmps), report.replacements_tried,
              rank if rank < 99 else "-", int(slice_has)]
@@ -388,6 +419,7 @@ def run_e8(max_replacements: int = 300) -> ExperimentResult:
         "bugs_ranked_top2": float(ranked_top2),
         "bugs_total": float(len(bugs)),
     }
+    result.metrics = registry.flat()
     return result
 
 
@@ -402,6 +434,7 @@ def run_e9() -> ExperimentResult:
                  "filtered", "true races found"],
     )
     total_filtered = 0
+    registry = MetricsRegistry()
     for kernel in race_kernels():
         runner = kernel.runner()
         machine = runner.machine()
@@ -419,6 +452,7 @@ def run_e9() -> ExperimentResult:
         detector = RaceDetector(ddg, history)
         baseline = detector.races()
         aware = SyncAwareRaceDetector(detector, recognizer.flag_syncs).detect()
+        aware.publish_telemetry(registry)
 
         reported_lines = {
             kernel.compiled.line_of(pc)
@@ -442,6 +476,7 @@ def run_e9() -> ExperimentResult:
             ]
         )
     result.headline = {"benign_races_filtered": float(total_filtered)}
+    result.metrics = registry.flat()  # summed over kernels
     return result
 
 
@@ -455,6 +490,7 @@ def run_e10() -> ExperimentResult:
         headers=["bug", "class", "avoided", "strategy", "attempts", "future run clean"],
     )
     avoided = 0
+    registry = MetricsRegistry()
     patch_file = PatchFile()
     framework = FaultAvoidanceFramework(patch_file)
     bugs = by_category("atomicity") + by_category("overflow") + by_category("malformed")
@@ -468,6 +504,9 @@ def run_e10() -> ExperimentResult:
             )
             clean = not protected.failed
         avoided += int(outcome.avoided and clean)
+        registry.counter("faultavoid.attempts").inc(len(outcome.attempts))
+        registry.counter("faultavoid.avoided").inc(int(outcome.avoided))
+        registry.counter("faultavoid.clean_reruns").inc(int(clean))
         result.rows.append(
             [
                 bug.name,
@@ -479,6 +518,7 @@ def run_e10() -> ExperimentResult:
             ]
         )
     result.headline = {"faults_avoided": float(avoided), "faults_total": float(len(bugs))}
+    result.metrics = registry.flat()
     return result
 
 
@@ -493,6 +533,7 @@ def run_e11() -> ExperimentResult:
                  "root cause named"],
     )
     detected_count, named_count = 0, 0
+    registry = MetricsRegistry()
     for scenario in attack_corpus():
         benign = AttackMonitor.for_scenario(scenario).monitor(
             scenario.runner(attack=False), scenario.compiled, scenario.name
@@ -503,6 +544,10 @@ def run_e11() -> ExperimentResult:
         named = attack.culprit_line in scenario.root_cause_lines
         detected_count += int(attack.detected)
         named_count += int(named)
+        registry.counter("security.scenarios").inc()
+        registry.counter("security.attacks_detected").inc(int(attack.detected))
+        registry.counter("security.stopped_by_dift").inc(int(attack.stopped_by_dift))
+        registry.counter("security.root_causes_named").inc(int(named))
         result.rows.append(
             [
                 scenario.name,
@@ -519,6 +564,7 @@ def run_e11() -> ExperimentResult:
         "root_causes_named": float(named_count),
         "scenarios": float(n),
     }
+    result.metrics = registry.flat()
     return result
 
 
@@ -539,6 +585,7 @@ def run_e12(scale: int = 1) -> ExperimentResult:
         workloads.append(cumulative_sum(n=200 * scale))
     slowdowns = []
     mem_ratio_on_overlapping = 1.0
+    registry = MetricsRegistry()
     for w in workloads:
         per_repr = {}
         for representation in ("naive", "robdd"):
@@ -552,6 +599,13 @@ def run_e12(scale: int = 1) -> ExperimentResult:
             per_repr[representation] = trace
             if representation == "robdd":
                 slowdowns.append(slow)
+                registry.counter("lineage.union_cycles").inc(trace.union_cycles)
+                registry.gauge("lineage.shadow_set_bytes.peak").set_max(
+                    trace.shadow_set_bytes
+                )
+                registry.gauge("lineage.memory_overhead.peak").set_max(
+                    trace.memory_overhead
+                )
             result.rows.append(
                 [
                     w.name,
@@ -572,6 +626,7 @@ def run_e12(scale: int = 1) -> ExperimentResult:
         "paper_slowdown_bound": 40.0,
         "naive_over_robdd_memory_on_overlapping_sets": mem_ratio_on_overlapping,
     }
+    result.metrics = registry.flat()  # roBDD representation, all workloads
     return result
 
 

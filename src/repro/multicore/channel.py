@@ -67,6 +67,9 @@ class QueueSimulator:
     in_flight: deque = field(default_factory=deque)
     messages: int = 0
     stall_cycles: int = 0
+    stalls: int = 0
+    #: deepest the queue ever got (back-pressure indicator).
+    peak_depth: int = 0
 
     def enqueue(self, main_time: int, service_cycles: int) -> int:
         """Enqueue one message at ``main_time``; returns the stall (in
@@ -79,11 +82,14 @@ class QueueSimulator:
             oldest = flight.popleft()
             stall = max(0, oldest - main_time)
             self.stall_cycles += stall
+            self.stalls += 1
             main_time += stall
         start = max(self.helper_free, main_time)
         self.helper_free = start + self.channel.dequeue_cycles + service_cycles
         flight.append(self.helper_free)
         self.messages += 1
+        if len(flight) > self.peak_depth:
+            self.peak_depth = len(flight)
         return stall
 
     def drain(self, main_time: int) -> int:

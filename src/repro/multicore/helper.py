@@ -112,6 +112,20 @@ class HelperCoreDIFT(Hook):
     def on_failure(self, info) -> None:
         self.engine.on_failure(info)
 
+    def publish_telemetry(self, registry) -> None:
+        """Dump dual-core channel/stall metrics (and the inner engine's
+        propagation metrics) into a registry; call after the run."""
+        self.engine.publish_telemetry(registry)
+        rep = self.report()
+        registry.counter("multicore.messages").inc(rep.messages)
+        registry.counter("multicore.stalls").inc(self.queue.stalls)
+        registry.counter("multicore.stall_cycles").inc(rep.stall_cycles)
+        registry.gauge("multicore.channel.capacity").set(self.channel.capacity)
+        registry.gauge("multicore.queue.peak_depth").set_max(self.queue.peak_depth)
+        registry.gauge("multicore.helper.busy_cycles").set(rep.helper_busy_cycles)
+        registry.gauge("multicore.helper.drain_cycles").set(rep.drain_cycles)
+        registry.gauge("multicore.overhead_fraction").set(rep.overhead)
+
     def report(self) -> HelperReport:
         machine = self.machine
         assert machine is not None

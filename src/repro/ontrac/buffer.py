@@ -26,6 +26,8 @@ class BufferStats:
     appended_bytes: int = 0
     evicted: int = 0
     evicted_bytes: int = 0
+    #: occupancy high-water mark in modeled bytes.
+    peak_bytes: int = 0
 
 
 class TraceBuffer:
@@ -44,6 +46,8 @@ class TraceBuffer:
         self.current_bytes += record.bytes
         self.stats.appended += 1
         self.stats.appended_bytes += record.bytes
+        if self.current_bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self.current_bytes
         while self.current_bytes > self.capacity_bytes and self.records:
             old = self.records.popleft()
             self.current_bytes -= old.bytes

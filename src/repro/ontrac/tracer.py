@@ -391,6 +391,24 @@ class OnlineTracer(Hook):
         if cfg.charge_overhead and self.machine is not None:
             self.machine.add_overhead(cfg.stub_cycles + bytes_stored * cfg.cycles_per_byte)
 
+    def publish_telemetry(self, registry) -> None:
+        """Dump tracer stats (the paper's B/instr figures) into a
+        :class:`~repro.telemetry.MetricsRegistry`; call after the run."""
+        stats = self.stats
+        registry.counter("ontrac.instructions").inc(stats.instructions)
+        registry.counter("ontrac.stored_bytes").inc(stats.stored_bytes)
+        registry.counter("ontrac.hot_traces").inc(stats.hot_traces)
+        for kind, count in sorted(stats.stored.items()):
+            registry.counter(f"ontrac.records.stored.{kind}").inc(count)
+        for reason, count in sorted(stats.skipped.items()):
+            registry.counter(f"ontrac.records.elided.{reason}").inc(count)
+        registry.gauge("ontrac.bytes_per_instruction").set(stats.bytes_per_instruction)
+        buf = self.buffer
+        registry.gauge("ontrac.buffer.capacity_bytes").set(buf.capacity_bytes)
+        registry.gauge("ontrac.buffer.peak_bytes").set_max(buf.stats.peak_bytes)
+        registry.gauge("ontrac.buffer.window_instructions").set(buf.window_instructions())
+        registry.counter("ontrac.buffer.evicted_records").inc(buf.stats.evicted)
+
     def _was_fused(self, instance: int) -> bool:
         """Attribution only: whether this inference region spans a trace.
 

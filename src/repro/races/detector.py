@@ -123,10 +123,14 @@ class RaceDetector:
     def __init__(self, ddg: DynamicDependenceGraph, history: SyncHistory):
         self.ddg = ddg
         self.history = history
+        #: cross-thread dependences examined by the last detect() call.
+        self.checked = 0
 
     def detect(self) -> list[RaceReport]:
         reports: list[RaceReport] = []
+        self.checked = 0
         for dep in cross_thread_dependences(self.ddg):
+            self.checked += 1
             first_seq, first_tid = dep.producer_seq, dep.producer_tid
             second_seq, second_tid = dep.consumer_seq, dep.consumer_tid
             if first_seq > second_seq:

@@ -95,6 +95,16 @@ class SyncAwareResult:
             + len(self.filtered_by_locks_or_hb)
         )
 
+    def publish_telemetry(self, registry) -> None:
+        """Dump check/report/filter metrics into a registry."""
+        registry.counter("races.checks").inc(self.baseline_count)
+        registry.counter("races.reported").inc(len(self.reported))
+        registry.counter("races.filtered.flag_accesses").inc(len(self.filtered_flag_accesses))
+        registry.counter("races.filtered.flag_ordering").inc(
+            len(self.filtered_by_flag_ordering)
+        )
+        registry.counter("races.filtered.locks_or_hb").inc(len(self.filtered_by_locks_or_hb))
+
 
 class SyncAwareRaceDetector:
     """Race detection with dynamic synchronization recognition."""

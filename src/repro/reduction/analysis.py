@@ -55,6 +55,22 @@ class ReductionOutcome:
     def traced_dependences(self) -> int:
         return self.tracer.dependence_graph().edge_count
 
+    def publish_telemetry(self, registry) -> None:
+        """Dump reduction metrics (replay-region length, thread cut,
+        dependence counts) into a registry."""
+        registry.gauge("reduction.replay.region_instructions").set(
+            self.replay.replayed_instructions
+        )
+        registry.gauge("reduction.replay.total_instructions").set(self.total_instructions)
+        registry.gauge("reduction.replay.fraction").set(self.replayed_fraction)
+        registry.gauge("reduction.replay.threads_kept").set(len(self.plan.include_tids))
+        registry.gauge("reduction.replay.window_segments").set(self.plan.window_segments)
+        registry.counter("reduction.replay.fallbacks").inc(
+            int(self.fell_back_to_all_threads)
+        )
+        registry.counter("reduction.traced_dependences").inc(self.traced_dependences)
+        self.tracer.publish_telemetry(registry)
+
 
 class ExecutionReducer:
     def __init__(self, program: Program, log: EventLog):

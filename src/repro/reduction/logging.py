@@ -100,6 +100,7 @@ class CheckpointingLogger(Hook):
         self.machine: Machine | None = None
         self._last_checkpoint_seq = 0
         self.overhead_cycles = 0
+        self.checkpoint_cells = 0
 
     def attach(self, machine: Machine) -> "CheckpointingLogger":
         self.machine = machine
@@ -175,6 +176,7 @@ class CheckpointingLogger(Hook):
             )
         )
         self._last_checkpoint_seq = machine.seq
+        self.checkpoint_cells += snapshot.size_cells
         self._charge(int(snapshot.size_cells * self.costs.per_snapshot_cell))
 
     def finalize(self) -> EventLog:
@@ -184,3 +186,18 @@ class CheckpointingLogger(Hook):
         self.log.schedule = list(machine.schedule_trace)
         self.log.final_seq = machine.seq
         return self.log
+
+    def publish_telemetry(self, registry) -> None:
+        """Dump checkpoint/log metrics into a registry; call after the run.
+
+        ``checkpoint_bytes`` models one guest word (4 bytes) per
+        snapshotted cell, matching the cycle model's per-cell charge.
+        """
+        log = self.log
+        registry.counter("reduction.log.input_events").inc(len(log.inputs))
+        registry.counter("reduction.log.sync_events").inc(len(log.syncs))
+        registry.counter("reduction.log.schedule_segments").inc(len(log.schedule))
+        registry.counter("reduction.checkpoints").inc(len(log.checkpoints))
+        registry.counter("reduction.checkpoint_cells").inc(self.checkpoint_cells)
+        registry.counter("reduction.checkpoint_bytes").inc(self.checkpoint_cells * 4)
+        registry.gauge("reduction.log.overhead_cycles").set(self.overhead_cycles)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from .isa.program import Program
+from .telemetry import Telemetry
 from .vm.events import Hook
 from .vm.machine import Intervention, Machine, RunResult
 from .vm.scheduler import RoundRobinScheduler, Scheduler
@@ -30,10 +31,12 @@ class ProgramRunner:
     #: fresh-scheduler factory; defaults to deterministic round-robin.
     scheduler_factory: Callable[[], Scheduler] | None = None
     max_instructions: int = 10_000_000
+    #: shared telemetry bundle; None (default) keeps runs unobserved.
+    telemetry: Telemetry | None = None
 
     def machine(self) -> Machine:
         scheduler = self.scheduler_factory() if self.scheduler_factory else RoundRobinScheduler()
-        m = Machine(self.program, scheduler=scheduler, args=self.args)
+        m = Machine(self.program, scheduler=scheduler, args=self.args, telemetry=self.telemetry)
         for channel, values in self.inputs.items():
             m.io.provide(channel, list(values))
         return m
@@ -59,6 +62,8 @@ class ProgramRunner:
         m = self.machine()
         tracer = OnlineTracer(self.program, config).attach(m)
         result = m.run(max_instructions=self.max_instructions)
+        if self.telemetry is not None and self.telemetry.enabled:
+            tracer.publish_telemetry(self.telemetry.registry)
         return m, tracer, result
 
     def with_inputs(self, inputs: dict[int, list[int]]) -> "ProgramRunner":
@@ -69,4 +74,5 @@ class ProgramRunner:
             args=self.args,
             scheduler_factory=self.scheduler_factory,
             max_instructions=self.max_instructions,
+            telemetry=self.telemetry,
         )

@@ -1,0 +1,184 @@
+"""Span tracing with deterministic cycle timestamps.
+
+A :class:`Span` is a named interval stamped twice: with the machine's
+deterministic **cycle time** (the modeled ``CycleCounters.total``, so
+two identical runs produce bit-identical traces) and with wall-clock
+nanoseconds (so humans can still see real elapsed time).  The exported
+format is the Chrome trace-event JSON that Perfetto and
+``chrome://tracing`` open directly: cycle time maps to the ``ts``/
+``dur`` microsecond fields (1 modeled cycle = 1 "µs"), wall time rides
+along in ``args``.
+
+The tracer follows the registry's cost discipline: a disabled tracer
+hands out one shared no-op span, so instrumented code can wrap regions
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable
+
+
+class Span:
+    """One open (and later closed) trace interval."""
+
+    __slots__ = ("name", "cat", "tid", "ts", "dur", "wall_ns", "args", "_tracer", "_wall0")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, tid: int, args: dict | None):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.ts = tracer.now()
+        self.dur = 0
+        self._wall0 = time.perf_counter_ns()
+        self.wall_ns = 0
+        self.args = args or {}
+
+    def end(self, **args) -> "Span":
+        self.dur = max(0, self._tracer.now() - self.ts)
+        self.wall_ns = time.perf_counter_ns() - self._wall0
+        if args:
+            self.args.update(args)
+        self._tracer.events.append(self)
+        return self
+
+    # context-manager sugar: ``with tracer.span("dift.run"): ...``
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+
+
+class _NullSpan(Span):
+    __slots__ = ()
+
+    def __init__(self):  # bypass Span.__init__: no tracer, no clock reads
+        self.name = self.cat = "null"
+        self.tid = self.ts = self.dur = self.wall_ns = self._wall0 = 0
+        self.args = {}
+        self._tracer = None
+
+    def end(self, **args) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Collects spans and instants; exports Chrome trace-event JSON."""
+
+    def __init__(self, enabled: bool = True, cycle_clock: Callable[[], int] | None = None):
+        self.enabled = enabled
+        self.cycle_clock = cycle_clock
+        self.events: list[Span] = []
+        #: instant events: (name, cat, tid, ts, args)
+        self.instants: list[tuple[str, str, int, int, dict]] = []
+        self.thread_names: dict[int, str] = {}
+
+    def bind_clock(self, cycle_clock: Callable[[], int]) -> None:
+        """Late-bind the cycle source (the machine exists after the tracer)."""
+        if self.cycle_clock is None:
+            self.cycle_clock = cycle_clock
+
+    def now(self) -> int:
+        clock = self.cycle_clock
+        return clock() if clock is not None else 0
+
+    def span(self, name: str, cat: str = "run", tid: int = 0, **args) -> Span:
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, cat, tid, args or None)
+
+    def instant(self, name: str, cat: str = "run", tid: int = 0, **args) -> None:
+        if self.enabled:
+            self.instants.append((name, cat, tid, self.now(), args))
+
+    def name_thread(self, tid: int, name: str) -> None:
+        if self.enabled:
+            self.thread_names[tid] = name
+
+    # -- export ------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """The trace-event wrapper object Perfetto/chrome://tracing load."""
+        events: list[dict] = []
+        for tid, name in sorted(self.thread_names.items()):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        for s in self.events:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": s.name,
+                    "cat": s.cat,
+                    "pid": 0,
+                    "tid": s.tid,
+                    "ts": s.ts,
+                    "dur": s.dur,
+                    "args": {**s.args, "wall_ns": s.wall_ns},
+                }
+            )
+        for name, cat, tid, ts, args in self.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": name,
+                    "cat": cat,
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": ts,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "modeled-cycles (1 cycle = 1 us)"},
+        }
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Raise ``ValueError`` unless ``trace`` is a loadable trace-event file."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("chrome trace must be an object with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev or "name" not in ev:
+            raise ValueError(f"event {i} lacks ph/name")
+        ph = ev["ph"]
+        if ph == "X":
+            for key in ("ts", "dur", "pid", "tid"):
+                if not isinstance(ev.get(key), int):
+                    raise ValueError(f"complete event {i} field {key!r} must be an int")
+            if ev["ts"] < 0 or ev["dur"] < 0:
+                raise ValueError(f"complete event {i} has negative ts/dur")
+        elif ph == "i":
+            if not isinstance(ev.get("ts"), int):
+                raise ValueError(f"instant event {i} needs an int ts")
+        elif ph != "M":
+            raise ValueError(f"event {i} has unsupported phase {ph!r}")
+
+
+#: The tracer instrumented code falls back to when none is supplied.
+NULL_TRACER = SpanTracer(enabled=False)

@@ -107,6 +107,22 @@ class TMResult:
             return 0.0
         return self.monitored_cycles / self.base_cycles - 1.0
 
+    def publish_telemetry(self, registry) -> None:
+        """Dump commit/abort/retry metrics into a registry.
+
+        A retry is an abort of a transaction that had already completed
+        at least one access (its work is re-executed); first-access
+        conflicts abort before any work is buffered.
+        """
+        registry.counter("tm.commits").inc(self.commits)
+        registry.counter("tm.aborts").inc(self.aborts)
+        registry.counter("tm.retried_ops").inc(self.wasted_ops)
+        registry.counter("tm.detected_spins").inc(self.detected_spins)
+        registry.counter("tm.detected_syncs").inc(self.detected_syncs)
+        registry.counter("tm.steps").inc(self.steps)
+        registry.counter("tm.livelocks").inc(int(self.livelock))
+        registry.gauge("tm.overhead_x").set(self.overhead + 1.0)
+
 
 def unmonitored_cycles(workload: ParallelWorkload) -> int:
     """Cost of the workload with no monitoring (every op once)."""

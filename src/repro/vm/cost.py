@@ -79,7 +79,35 @@ class CycleCounters:
 
     @property
     def slowdown(self) -> float:
-        """(base + overhead) / base — 1.0 means no tool cost."""
+        """(base + overhead) / base — 1.0 means no tool cost.
+
+        A run that executed nothing but was still charged tool overhead
+        has infinite slowdown; only the truly empty run (no base, no
+        overhead) is a clean 1.0.
+        """
         if self.base == 0:
-            return 1.0
+            return float("inf") if self.overhead > 0 else 1.0
         return self.total / self.base
+
+    def as_dict(self) -> dict[str, int]:
+        return {"base": self.base, "overhead": self.overhead, "total": self.total}
+
+
+#: Semantic opcode classes for telemetry (instructions retired per class).
+OPCODE_CLASSES: dict[Opcode, str] = {}
+for _op in Opcode:
+    if _op <= Opcode.LI:
+        OPCODE_CLASSES[_op] = "alu"
+    elif _op <= Opcode.POP:
+        OPCODE_CLASSES[_op] = "memory"
+    elif _op <= Opcode.FREE:
+        OPCODE_CLASSES[_op] = "heap"
+    elif _op <= Opcode.NOP:
+        OPCODE_CLASSES[_op] = "control"
+    elif _op <= Opcode.OUT:
+        OPCODE_CLASSES[_op] = "io"
+    elif _op <= Opcode.BARWAIT:
+        OPCODE_CLASSES[_op] = "sync"
+    else:
+        OPCODE_CLASSES[_op] = "diagnostic"
+del _op

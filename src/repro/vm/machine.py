@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 
 from ..isa.instructions import SP, Instruction, Opcode
 from ..isa.program import Program
-from .cost import CostModel, CycleCounters
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .cost import OPCODE_CLASSES, CostModel, CycleCounters
 from .errors import FailureInfo, ProgramFailure, VMError
 from .events import HookBus, InstrEvent
 from .io import IOSystem
@@ -88,12 +89,22 @@ class Machine:
         scheduler: Scheduler | None = None,
         cost_model: CostModel | None = None,
         args: tuple[int, ...] = (),
+        telemetry: Telemetry | None = None,
     ):
         program.validate()
         self.program = program
         self.scheduler = scheduler or RoundRobinScheduler()
         self.cost_model = cost_model or CostModel()
         self._cost_table = self.cost_model.table()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        # One bool, checked like `hooks.active`: the no-op path costs a
+        # single attribute load and never touches the cycle model.
+        self._tel = self.telemetry.enabled
+        if self._tel:
+            self.telemetry.tracer.bind_clock(lambda: self.cycles.total)
+            self._op_counts = [0] * len(self._cost_table)
+            self._events_published = 0
+            self._blocked_attempts = 0
         self.memory = Memory()
         self.io = IOSystem()
         self.hooks = HookBus()
@@ -132,6 +143,9 @@ class Machine:
         threads = self.threads
         status: RunStatus | None = None
         current: int | None = None
+        tel = self._tel
+        tracer = self.telemetry.tracer
+        run_span = tracer.span("vm.run", cat="vm") if tel else None
         while status is None:
             if self.halted:
                 status = RunStatus.HALTED
@@ -148,16 +162,21 @@ class Machine:
             thread = threads[tid]
             executed = 0
             seg_start_seq = self.seq
+            seg_span = tracer.span(f"t{tid} segment", cat="schedule", tid=tid) if tel else None
             while executed < quantum:
                 if not thread.runnable or self.halted:
                     break
                 if not self._step(thread):
+                    if tel:
+                        self._blocked_attempts += 1
                     break  # blocked without progress
                 executed += 1
                 if self.failure is not None:
                     break
                 if self.seq >= max_instructions:
                     break
+            if seg_span is not None:
+                seg_span.end(instructions=executed)
             if executed:
                 self.schedule_trace.append((tid, executed))
                 self.hooks.schedule(tid, seg_start_seq)
@@ -165,19 +184,28 @@ class Machine:
                 status = RunStatus.FAILED
             elif self.seq >= max_instructions and not self.halted:
                 status = RunStatus.LIMIT
-        return RunResult(
+        result = RunResult(
             status=status,
             instructions=self.seq,
             cycles=self.cycles,
             failure=self.failure,
             schedule=list(self.schedule_trace),
         )
+        if tel:
+            if run_span is not None:
+                run_span.end(instructions=self.seq, status=status.value)
+            self._publish_telemetry(result)
+        return result
 
     def _fail(self, thread: ThreadContext, exc: ProgramFailure) -> None:
         info = FailureInfo(
             kind=exc.kind, tid=thread.tid, pc=thread.pc, seq=self.seq, message=exc.message
         )
         self.failure = info
+        if self._tel:
+            self.telemetry.tracer.instant(
+                f"failure: {info.kind}", cat="vm", tid=thread.tid, pc=info.pc, seq=info.seq
+            )
         self.hooks.failure(info)
 
     def _step(self, thread: ThreadContext) -> bool:
@@ -510,6 +538,8 @@ class Machine:
             thread.pc = next_pc
         thread.instructions += 1
         self.cycles.base += self._cost_table[op]
+        if self._tel:
+            self._op_counts[op] += 1
         if intervention is not None:
             self._occurrences[pc] = occurrence + 1
         if trace:
@@ -563,7 +593,34 @@ class Machine:
             io_value=io_value,
             input_index=input_index,
         )
+        if self._tel:
+            self._events_published += 1
         self.hooks.instruction(ev)
+
+    def _publish_telemetry(self, result: RunResult) -> None:
+        """Dump this run's VM metrics into the telemetry registry."""
+        reg = self.telemetry.registry
+        reg.counter("vm.instructions").inc(self.seq)
+        class_totals: dict[str, int] = {}
+        for op in Opcode:
+            count = self._op_counts[int(op)]
+            if count:
+                cls = OPCODE_CLASSES[op]
+                class_totals[cls] = class_totals.get(cls, 0) + count
+        for cls, count in sorted(class_totals.items()):
+            reg.counter(f"vm.instructions.{cls}").inc(count)
+        reg.counter("vm.events.published").inc(self._events_published)
+        reg.counter("vm.scheduler.segments").inc(len(self.schedule_trace))
+        reg.counter("vm.scheduler.blocked_attempts").inc(self._blocked_attempts)
+        reg.gauge("vm.threads.total").set(len(self.threads))
+        reg.gauge("vm.cycles.base").set(self.cycles.base)
+        reg.gauge("vm.cycles.overhead").set(self.cycles.overhead)
+        reg.gauge("vm.cycles.total").set(self.cycles.total)
+        hist = reg.histogram("vm.scheduler.segment_instructions")
+        for _, executed in self.schedule_trace:
+            hist.observe(executed)
+        for t in self.threads:
+            self.telemetry.tracer.name_thread(t.tid, f"guest thread {t.tid}")
 
     def _wake_joiners(self, tid: int) -> None:
         for waiter in self._joiners.pop(tid, []):

@@ -123,6 +123,14 @@ class TestCommands:
     def test_missing_file(self, capsys):
         assert main(["run", "/nonexistent.mc"]) == 2
 
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent.mc"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_slice_missing_file(self, capsys):
+        assert main(["slice", "/nonexistent.mc", "--line", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_experiments_unknown_id(self, capsys):
         assert main(["experiments", "E99"]) == 2
 
@@ -130,3 +138,52 @@ class TestCommands:
         assert main(["experiments", "E7"]) == 0
         out = capsys.readouterr().out
         assert "E7" in out and "verifications" in out
+
+
+class TestTelemetryOutputs:
+    def test_run_report_matches_stdout_totals(self, demo, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_report
+
+        report_path = tmp_path / "rep.json"
+        assert main(["run", demo, "--input", "0=3,4", "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(report_path.read_text())
+        validate_report(data)
+        assert f"instructions: {data['instructions']}" in out
+        assert f"cycles: {data['total_cycles']}" in out
+        assert data["tool"] == "run"
+        assert data["metrics"]["counters"]["vm.instructions"] == data["instructions"]
+
+    def test_trace_writes_chrome_trace(self, demo, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", demo, "--input", "0=3,4", "--trace", str(trace_path)]) == 0
+        trace = json.loads(trace_path.read_text())
+        validate_chrome_trace(trace)
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert "vm.run" in names
+
+    def test_attack_report_counts_alerts(self, vulnerable, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "rep.json"
+        assert main(
+            ["attack", vulnerable, "--input", "0=1", "--report", str(report_path)]
+        ) == 1
+        data = json.loads(report_path.read_text())
+        assert data["extra"]["alerts"] == 1
+        assert data["metrics"]["counters"]["dift.alerts"] == 1
+
+    def test_experiments_report(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "exp.json"
+        assert main(["experiments", "E7", "--report", str(report_path)]) == 0
+        data = json.loads(report_path.read_text())
+        assert data[0]["experiment"] == "E7"
+        assert data[0]["metrics"]["slicing.verification_runs"] >= 1

@@ -126,6 +126,10 @@ are not comparable; shapes, orderings and ratio structure are** — each
 experiment's assertions (see `benchmarks/`) encode exactly the shape
 that must hold.
 
+Each section also quotes a **Telemetry** line: counters/gauges from the
+unified metrics registry (`repro.telemetry`), the same snapshot
+`python -m repro experiments <id> --report out.json` serializes.
+
 """
 
 
@@ -143,6 +147,12 @@ def main() -> None:
             sections.append(f"\n*{result.notes}*")
         headline = ", ".join(f"{k} = {v:.3g}" for k, v in result.headline.items())
         sections.append(f"\n**Headline:** {headline}")
+        if result.metrics:
+            shown = list(result.metrics.items())[:10]
+            metrics = ", ".join(f"`{k}` = {v:.6g}" for k, v in shown)
+            more = len(result.metrics) - len(shown)
+            suffix = f" (+{more} more via `experiments {name} --report`)" if more else ""
+            sections.append(f"\n**Telemetry:** {metrics}{suffix}")
         sections.append(f"\n{COMMENTARY[name]}")
         sections.append(f"\n*(regenerated in {elapsed:.1f} s)*\n")
         print(f"{name} done in {elapsed:.1f}s")

@@ -1,0 +1,24 @@
+"""Fast path — wall-clock speedup with bit-identical observables.
+
+Not a paper claim: the fast execution path (precompiled VM dispatch,
+interned dependence records, paged shadow memory) only changes how fast
+the *host* runs the simulation.  This benchmark times the E1 ONTRAC
+workload suite with the fast-path flags off vs on, asserts the record
+streams and modeled cycles match, and requires the >=2x speedup the
+fast path was built for.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_fastpath
+
+
+def test_fastpath_speedup(benchmark):
+    result = benchmark.pedantic(run_fastpath, rounds=1, iterations=1)
+    report(result)
+    assert result.headline["bit_identical"] == 1.0
+    assert result.headline["traced_suite_speedup"] >= 2.0
+    # The introspection counters prove the fast paths actually engaged.
+    assert result.metrics["fastpath.dispatch_hits"] > 0
+    assert result.metrics["ontrac.records_interned"] > 0
+    assert result.metrics["shadow.pages_allocated"] > 0

@@ -103,9 +103,10 @@ class DIFTEngine(Hook):
         sinks: list[SinkRule] | None = None,
         propagate_addresses: bool = False,
         charge_overhead: bool = True,
+        paged_shadow: bool | None = None,
     ):
         self.policy = policy
-        self.shadow = ShadowState(policy)
+        self.shadow = ShadowState(policy, paged=paged_shadow)
         self.source_channels = source_channels
         self.sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
         self.propagate_addresses = propagate_addresses
@@ -240,6 +241,7 @@ class DIFTEngine(Hook):
             self.shadow.tainted_cells + self.shadow.tainted_regs
         )
         registry.gauge("dift.shadow_bytes").set(self.shadow.shadow_bytes)
+        registry.counter("shadow.pages_allocated").inc(self.shadow.pages_allocated)
 
     def memory_overhead(self, machine: Machine, guest_word_bytes: int = 4) -> float:
         """Shadow bytes / guest data bytes (the paper's "memory overhead")."""

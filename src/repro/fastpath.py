@@ -1,0 +1,137 @@
+"""Fast-path execution flags.
+
+The paper's whole argument is that tracing can be cheap *without
+changing what is traced*: ONTRAC's compression and inference shrink the
+stored stream but the dependences it answers queries about are the same
+ones the naive tracer would have stored.  This module applies the same
+discipline to the reproduction's own hot loops: each flag switches an
+implementation strategy, never a semantic.  A run with every flag off
+and a run with every flag on must be bit-identical — same modeled
+cycles, same dependence graphs, same taint sets — which is exactly what
+``tests/test_fastpath_differential.py`` proves.
+
+Flags (all default **on**):
+
+``vm_dispatch``
+    Precompile every :class:`~repro.isa.instructions.Instruction` into
+    a dispatch-table closure at machine construction, hoisting the
+    opcode ``if/elif`` chain, operand decoding and cost lookup out of
+    the per-instruction step.
+``intern_records``
+    Intern :class:`~repro.ontrac.records.DepRecord` templates per
+    static instruction and delta-encode the per-instance fields, so the
+    tracer stops re-allocating six-field frozen dataclasses for every
+    repeated dynamic dependence.
+``paged_shadow``
+    Back shadow memory with 4 KiB label pages (and a shared notion of
+    the all-clear page: absent pages read as untainted) instead of one
+    flat per-address dict, so ``clear_range``/``snapshot`` work per
+    page instead of per cell.
+
+Resolution order: explicit argument > process-wide override
+(:func:`configure` / :func:`overridden`) > environment
+(``REPRO_FASTPATH=0`` kills all three; ``REPRO_FASTPATH_VM``,
+``REPRO_FASTPATH_ONTRAC``, ``REPRO_FASTPATH_SHADOW`` toggle one) >
+default-on.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FastPathConfig:
+    """Which fast-path implementations to use; see the module docstring."""
+
+    vm_dispatch: bool = True
+    intern_records: bool = True
+    paged_shadow: bool = True
+
+    @classmethod
+    def all_on(cls) -> "FastPathConfig":
+        return cls(vm_dispatch=True, intern_records=True, paged_shadow=True)
+
+    @classmethod
+    def all_off(cls) -> "FastPathConfig":
+        return cls(vm_dispatch=False, intern_records=False, paged_shadow=False)
+
+
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def from_env() -> FastPathConfig:
+    """Build the config the environment asks for."""
+    master = _env_bool("REPRO_FASTPATH", True)
+    return FastPathConfig(
+        vm_dispatch=_env_bool("REPRO_FASTPATH_VM", master),
+        intern_records=_env_bool("REPRO_FASTPATH_ONTRAC", master),
+        paged_shadow=_env_bool("REPRO_FASTPATH_SHADOW", master),
+    )
+
+
+_current: FastPathConfig | None = None
+
+
+def current() -> FastPathConfig:
+    """The active process-wide config."""
+    global _current
+    if _current is None:
+        _current = from_env()
+    return _current
+
+
+def configure(config: FastPathConfig) -> FastPathConfig:
+    """Install ``config`` process-wide; returns the previous config."""
+    global _current
+    previous = current()
+    _current = config
+    return previous
+
+
+@contextmanager
+def overridden(config: FastPathConfig):
+    """Temporarily install ``config`` (the differential tests' lever)."""
+    previous = configure(config)
+    try:
+        yield config
+    finally:
+        configure(previous)
+
+
+def resolve(flag: bool | None, name: str) -> bool:
+    """Resolve one flag: an explicit bool wins, None falls back to
+    the process-wide config's attribute ``name``."""
+    if flag is None:
+        return getattr(current(), name)
+    return flag
+
+
+def resolve_config(config: "FastPathConfig | bool | None") -> FastPathConfig:
+    """Resolve a whole-config override: True/False switch everything,
+    None falls back to the process-wide config."""
+    if config is None:
+        return current()
+    if config is True:
+        return FastPathConfig.all_on()
+    if config is False:
+        return FastPathConfig.all_off()
+    return config
+
+
+__all__ = [
+    "FastPathConfig",
+    "configure",
+    "current",
+    "from_env",
+    "overridden",
+    "replace",
+    "resolve",
+    "resolve_config",
+]

@@ -4,7 +4,15 @@ from .buffer import BufferStats, TraceBuffer
 from .control_dep import ControlDependenceTracker, Region
 from .ddg import DDGNode, DynamicDependenceGraph, build_ddg
 from .offline import OfflineConfig, OfflineStats, OfflineTracer
-from .records import RECORD_BYTES, TRACE_FORMATION_BYTES, DepKind, DepRecord
+from .records import (
+    RECORD_BYTES,
+    TRACE_FORMATION_BYTES,
+    DepKind,
+    DepRecord,
+    InternedDepRecord,
+    RecordInterner,
+    RecordTemplate,
+)
 from .tracer import SUMMARY_FANIN_CAP, OnlineTracer, OntracConfig, OntracStats
 
 __all__ = [
@@ -22,6 +30,9 @@ __all__ = [
     "TRACE_FORMATION_BYTES",
     "DepKind",
     "DepRecord",
+    "InternedDepRecord",
+    "RecordInterner",
+    "RecordTemplate",
     "SUMMARY_FANIN_CAP",
     "OnlineTracer",
     "OntracConfig",

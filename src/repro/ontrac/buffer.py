@@ -42,17 +42,35 @@ class TraceBuffer:
         self.stats = BufferStats()
 
     def append(self, record: DepRecord) -> None:
+        b = record.bytes
         self.records.append(record)
-        self.current_bytes += record.bytes
-        self.stats.appended += 1
-        self.stats.appended_bytes += record.bytes
-        if self.current_bytes > self.stats.peak_bytes:
-            self.stats.peak_bytes = self.current_bytes
-        while self.current_bytes > self.capacity_bytes and self.records:
-            old = self.records.popleft()
-            self.current_bytes -= old.bytes
-            self.stats.evicted += 1
-            self.stats.evicted_bytes += old.bytes
+        cur = self.current_bytes + b
+        stats = self.stats
+        stats.appended += 1
+        stats.appended_bytes += b
+        if cur > stats.peak_bytes:
+            stats.peak_bytes = cur
+        if cur > self.capacity_bytes:
+            records = self.records
+            while cur > self.capacity_bytes and records:
+                old_bytes = records.popleft().bytes
+                cur -= old_bytes
+                stats.evicted += 1
+                stats.evicted_bytes += old_bytes
+        self.current_bytes = cur
+
+    def evict_overflow(self) -> None:
+        """Evict oldest-first until occupancy fits the capacity again
+        (for callers that append to :attr:`records` directly)."""
+        cur = self.current_bytes
+        records = self.records
+        stats = self.stats
+        while cur > self.capacity_bytes and records:
+            old_bytes = records.popleft().bytes
+            cur -= old_bytes
+            stats.evicted += 1
+            stats.evicted_bytes += old_bytes
+        self.current_bytes = cur
 
     def __len__(self) -> int:
         return len(self.records)

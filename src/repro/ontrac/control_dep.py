@@ -29,7 +29,7 @@ from ..isa.program import Program
 from ..vm.events import InstrEvent
 
 
-@dataclass
+@dataclass(slots=True)
 class Region:
     branch_seq: int
     branch_pc: int
@@ -53,30 +53,28 @@ class ControlDependenceTracker:
         """Process one executed instruction; returns its dynamic control
         parent (the innermost open region), or None at top level."""
         tid = ev.tid
-        stack = self._stacks.setdefault(tid, [])
+        stack = self._stacks.get(tid)
+        if stack is None:
+            stack = self._stacks[tid] = []
         depth = self._depths.get(tid, 0)
         pc = ev.pc
-        while stack and (
-            stack[-1].depth > depth
-            or (stack[-1].depth == depth and stack[-1].ipdom_pc == pc)
-        ):
-            stack.pop()
-        parent = stack[-1] if stack else None
+        parent = None
+        while stack:
+            top = stack[-1]
+            top_depth = top.depth
+            if top_depth > depth or (top_depth == depth and top.ipdom_pc == pc):
+                stack.pop()
+            else:
+                parent = top
+                break
         op = ev.instr.opcode
         if op is Opcode.BR or op is Opcode.BRZ:
             # A re-executed loop branch replaces its own stale region
             # (same reconvergence point; the newest instance is the true
             # parent) so the stack stays bounded across iterations.
-            if stack and stack[-1].branch_pc == pc and stack[-1].depth == depth:
+            if parent is not None and parent.branch_pc == pc and parent.depth == depth:
                 stack.pop()
-            stack.append(
-                Region(
-                    branch_seq=ev.seq,
-                    branch_pc=pc,
-                    ipdom_pc=self.ipdom_pc.get(pc, -1),
-                    depth=depth,
-                )
-            )
+            stack.append(Region(ev.seq, pc, self.ipdom_pc.get(pc, -1), depth))
         elif op is Opcode.CALL or op is Opcode.ICALL:
             self._depths[tid] = depth + 1
         elif op is Opcode.RET:

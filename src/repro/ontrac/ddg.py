@@ -19,7 +19,7 @@ from typing import Iterable
 from .records import DepKind, DepRecord
 
 
-@dataclass
+@dataclass(slots=True)
 class DDGNode:
     seq: int
     pc: int
@@ -49,10 +49,21 @@ class DynamicDependenceGraph:
         kind: DepKind,
         tid: int = 0,
     ) -> None:
-        self._ensure(consumer_seq, consumer_pc, tid)
-        self._ensure(producer_seq, producer_pc, tid)
-        self.backward.setdefault(consumer_seq, []).append((producer_seq, kind))
-        self.forward.setdefault(producer_seq, []).append((consumer_seq, kind))
+        nodes = self.nodes
+        if consumer_seq not in nodes:
+            nodes[consumer_seq] = DDGNode(consumer_seq, consumer_pc, tid)
+        if producer_seq not in nodes:
+            nodes[producer_seq] = DDGNode(producer_seq, producer_pc, tid)
+        backward = self.backward
+        edges = backward.get(consumer_seq)
+        if edges is None:
+            edges = backward[consumer_seq] = []
+        edges.append((producer_seq, kind))
+        forward = self.forward
+        edges = forward.get(producer_seq)
+        if edges is None:
+            edges = forward[producer_seq] = []
+        edges.append((consumer_seq, kind))
 
     def add_node(self, seq: int, pc: int, tid: int = 0) -> None:
         self._ensure(seq, pc, tid)

@@ -34,19 +34,13 @@ class OfflineConfig:
     postprocess_cycles_per_instruction: int = 800  # graph build + compaction
 
 
-@dataclass
-class _RawEntry:
-    seq: int
-    pc: int
-    tid: int
-    reg_reads: tuple
-    reg_writes: tuple
-    mem_reads: tuple
-    mem_writes: tuple
-    parent_seq: int
-    parent_pc: int
-    is_spawn: bool
-    spawn_child: int
+# One raw trace entry per executed instruction, kept as a plain tuple
+# (collection runs inline with the guest; a constructor call per
+# instruction would dominate the modeled "write to file" phase):
+# (seq, pc, tid, reg_reads, reg_writes, mem_reads, mem_writes,
+#  parent_seq, parent_pc, spawn_child)  — spawn_child is -1 for
+# non-spawn instructions.
+_RawEntry = tuple
 
 
 @dataclass
@@ -83,24 +77,24 @@ class OfflineTracer(Hook):
         parent = self._control.observe(ev)
         is_spawn = ev.instr.opcode is Opcode.SPAWN
         self.entries.append(
-            _RawEntry(
-                seq=ev.seq,
-                pc=ev.pc,
-                tid=ev.tid,
-                reg_reads=ev.reg_reads,
-                reg_writes=ev.reg_writes,
-                mem_reads=ev.mem_reads,
-                mem_writes=ev.mem_writes,
-                parent_seq=parent.branch_seq if parent else -1,
-                parent_pc=parent.branch_pc if parent else -1,
-                is_spawn=is_spawn,
-                spawn_child=ev.reg_writes[0][1] if is_spawn else -1,
+            (
+                ev.seq,
+                ev.pc,
+                ev.tid,
+                ev.reg_reads,
+                ev.reg_writes,
+                ev.mem_reads,
+                ev.mem_writes,
+                parent.branch_seq if parent else -1,
+                parent.branch_pc if parent else -1,
+                ev.reg_writes[0][1] if is_spawn else -1,
             )
         )
-        self.stats.instructions += 1
-        self.stats.trace_bytes += cfg.bytes_per_instruction
+        stats = self.stats
+        stats.instructions += 1
+        stats.trace_bytes += cfg.bytes_per_instruction
         cycles = cfg.stub_cycles + cfg.bytes_per_instruction * cfg.io_cycles_per_byte
-        self.stats.collection_cycles += cycles
+        stats.collection_cycles += cycles
         if self.machine is not None:
             self.machine.add_overhead(cycles)
 
@@ -115,31 +109,33 @@ class OfflineTracer(Hook):
         ddg = DynamicDependenceGraph(complete=True)
         last_reg: dict[tuple[int, int], tuple[int, int]] = {}
         last_mem: dict[int, tuple[int, int]] = {}
-        for entry in self.entries:
-            tid = entry.tid
-            ddg.add_node(entry.seq, entry.pc, tid)
+        add_node = ddg.add_node
+        add_edge = ddg.add_edge
+        reg_get = last_reg.get
+        mem_get = last_mem.get
+        for seq, pc, tid, reg_reads, reg_writes, mem_reads, mem_writes, parent_seq, parent_pc, spawn_child in self.entries:
+            add_node(seq, pc, tid)
             seen: set[int] = set()
-            for reg, _ in entry.reg_reads:
+            for reg, _ in reg_reads:
                 if reg in seen:
                     continue
                 seen.add(reg)
-                producer = last_reg.get((tid, reg))
+                producer = reg_get((tid, reg))
                 if producer is not None:
-                    ddg.add_edge(entry.seq, entry.pc, producer[0], producer[1], DepKind.REG, tid)
-            for addr, _ in entry.mem_reads:
-                producer = last_mem.get(addr)
+                    add_edge(seq, pc, producer[0], producer[1], DepKind.REG, tid)
+            for addr, _ in mem_reads:
+                producer = mem_get(addr)
                 if producer is not None:
-                    ddg.add_edge(entry.seq, entry.pc, producer[0], producer[1], DepKind.MEM, tid)
-            if entry.parent_seq >= 0:
-                ddg.add_edge(
-                    entry.seq, entry.pc, entry.parent_seq, entry.parent_pc, DepKind.CONTROL, tid
-                )
-            for reg, _ in entry.reg_writes:
-                last_reg[(tid, reg)] = (entry.seq, entry.pc)
-            for addr, _ in entry.mem_writes:
-                last_mem[addr] = (entry.seq, entry.pc)
-            if entry.is_spawn:
-                last_reg[(entry.spawn_child, 0)] = (entry.seq, entry.pc)
+                    add_edge(seq, pc, producer[0], producer[1], DepKind.MEM, tid)
+            if parent_seq >= 0:
+                add_edge(seq, pc, parent_seq, parent_pc, DepKind.CONTROL, tid)
+            node = (seq, pc)
+            for reg, _ in reg_writes:
+                last_reg[(tid, reg)] = node
+            for addr, _ in mem_writes:
+                last_mem[addr] = node
+            if spawn_child >= 0:
+                last_reg[(spawn_child, 0)] = node
         self.stats.postprocess_cycles = (
             len(self.entries) * self.config.postprocess_cycles_per_instruction
         )

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import fastpath as fastpath_config
 from ..isa.cfg import build_cfgs
 from ..isa.instructions import Opcode
 from ..isa.program import Program
@@ -47,7 +48,14 @@ from ..vm.machine import Machine
 from .buffer import TraceBuffer
 from .control_dep import ControlDependenceTracker
 from .ddg import DynamicDependenceGraph, build_ddg
-from .records import TRACE_FORMATION_BYTES, DepKind, DepRecord
+from .records import (
+    TRACE_FORMATION_BYTES,
+    DepKind,
+    DepRecord,
+    InternedDepRecord,
+    RecordInterner,
+    RecordTemplate,
+)
 
 #: cap on how many traced ancestors an untraced-code summary carries.
 SUMMARY_FANIN_CAP = 16
@@ -70,6 +78,11 @@ class OntracConfig:
     charge_overhead: bool = True
     stub_cycles: int = 25
     cycles_per_byte: int = 3
+    #: fast path: intern record templates per static dependence site.
+    #: None defers to the process-wide repro.fastpath config (default on).
+    #: Purely an allocation strategy — stored records, bytes and graphs
+    #: are identical either way.
+    intern_records: bool | None = None
 
     @classmethod
     def unoptimized(cls, **overrides) -> "OntracConfig":
@@ -125,6 +138,16 @@ class OnlineTracer(Hook):
         self.buffer = TraceBuffer(self.config.buffer_bytes)
         self.stats = OntracStats()
         self.machine: Machine | None = None
+        # Record constructor: the interner when the fast path is on,
+        # else the DepRecord class itself (both share one signature).
+        if fastpath_config.resolve(self.config.intern_records, "intern_records"):
+            self._interner: RecordInterner | None = RecordInterner()
+            self._rec = self._interner
+            self._emit = self._emit_fast
+        else:
+            self._interner = None
+            self._rec = DepRecord
+            self._emit = self._emit_slow
         # Static structure: block leaders per global pc.
         self._leaders: set[int] = set()
         for cfg in build_cfgs(program).values():
@@ -144,6 +167,8 @@ class OnlineTracer(Hook):
         self._derived_reg: set[tuple[int, int]] = set()
         self._derived_mem: set[int] = set()
         self._last_readers: dict[int, list[tuple[int, int, int]]] = {}
+        if self._interner is not None:
+            self._install_fast_hook()
 
     # -- lifecycle -----------------------------------------------------------
     def attach(self, machine: Machine) -> "OnlineTracer":
@@ -158,9 +183,322 @@ class OnlineTracer(Hook):
     # -- helpers -------------------------------------------------------------
     def _store(self, record: DepRecord) -> int:
         self.buffer.append(record)
-        self.stats._bump(self.stats.stored, record.kind.value)
-        self.stats.stored_bytes += record.bytes
-        return record.bytes
+        stats = self.stats
+        stored = stats.stored
+        key = record.kind.value
+        stored[key] = stored.get(key, 0) + 1
+        b = record.bytes
+        stats.stored_bytes += b
+        return b
+
+    def _emit_slow(
+        self,
+        kind: DepKind,
+        consumer_seq: int,
+        consumer_pc: int,
+        producer_seq: int = -1,
+        producer_pc: int = -1,
+        tid: int = 0,
+    ) -> int:
+        """Reference path: a fresh :class:`DepRecord` per dependence."""
+        record = DepRecord(kind, consumer_seq, consumer_pc, producer_seq, producer_pc, tid)
+        self.buffer.append(record)
+        stats = self.stats
+        stored = stats.stored
+        key = kind.value
+        stored[key] = stored.get(key, 0) + 1
+        b = record.bytes
+        stats.stored_bytes += b
+        return b
+
+    def _emit_fast(
+        self,
+        kind: DepKind,
+        consumer_seq: int,
+        consumer_pc: int,
+        producer_seq: int = -1,
+        producer_pc: int = -1,
+        tid: int = 0,
+    ) -> int:
+        """Fast path: intern the static template and fuse the buffer
+        append + byte accounting into one call (same observable effect
+        as :meth:`_emit_slow`, record for record)."""
+        interner = self._interner
+        key = (kind, consumer_pc, producer_pc, tid)
+        template = interner.templates.get(key)
+        if template is None:
+            template = interner.templates[key] = RecordTemplate(kind, consumer_pc, producer_pc, tid)
+        else:
+            interner.hits += 1
+        record = InternedDepRecord(template, consumer_seq, consumer_seq - producer_seq)
+        b = template.bytes
+        buf = self.buffer
+        buf.records.append(record)
+        cur = buf.current_bytes + b
+        bstats = buf.stats
+        bstats.appended += 1
+        bstats.appended_bytes += b
+        if cur > bstats.peak_bytes:
+            bstats.peak_bytes = cur
+        buf.current_bytes = cur
+        if cur > buf.capacity_bytes:
+            buf.evict_overflow()
+        stats = self.stats
+        stored = stats.stored
+        kv = template.kind_value
+        stored[kv] = stored.get(kv, 0) + 1
+        stats.stored_bytes += b
+        return b
+
+    def _install_fast_hook(self) -> None:
+        """Compile a specialized ``on_instruction`` for this tracer.
+
+        The closure mirrors :meth:`on_instruction` statement for
+        statement but captures the config flags, the dependence maps,
+        the buffer internals and the template cache as locals, and fuses
+        record construction with buffer accounting — removing the
+        per-instruction attribute-chasing and per-record call overhead
+        the generic hook pays.  Installed as an instance attribute so
+        the hook bus dispatches straight to it.  Observable behavior is
+        identical to the generic hook (the differential suite holds the
+        two paths to bit-identical outputs); config flags are frozen at
+        construction, which the generic hook only nominally re-reads.
+        """
+        cfg = self.config
+        naive = cfg.naive
+        infer_intra_block = cfg.infer_intra_block
+        infer_traces = cfg.infer_traces
+        elide_redundant_loads = cfg.elide_redundant_loads
+        input_forward_slice = cfg.input_forward_slice
+        record_war_waw = cfg.record_war_waw
+        sel = cfg.selective_functions
+        charge_overhead = cfg.charge_overhead
+        stub_cycles = cfg.stub_cycles
+        cycles_per_byte = cfg.cycles_per_byte
+        control = self._control
+        observe = control.observe if control is not None else None
+        stats = self.stats
+        stored = stats.stored
+        skipped = stats.skipped
+        buffer = self.buffer
+        buf_append = buffer.records.append
+        bstats = buffer.stats
+        capacity = buffer.capacity_bytes
+        interner = self._interner
+        templates = interner.templates
+        maintain = self._maintain_blocks
+        block_instance = self._block_instance
+        last_reg = self._last_reg
+        last_mem = self._last_mem
+        last_readers = self._last_readers
+        redundant_load = self._redundant_load
+        derived_reg = self._derived_reg
+        derived_mem = self._derived_mem
+        hot_transitions = self._hot_transitions
+        IN, LOAD, POP = Opcode.IN, Opcode.LOAD, Opcode.POP
+        BR, BRZ, SPAWN = Opcode.BR, Opcode.BRZ, Opcode.SPAWN
+        K_INSTR, K_REG, K_IREG = DepKind.INSTR, DepKind.REG, DepKind.IREG
+        K_MEM, K_IMEM, K_SUMMARY = DepKind.MEM, DepKind.IMEM, DepKind.SUMMARY
+        K_CONTROL, K_BRANCH = DepKind.CONTROL, DepKind.BRANCH
+        K_WAR, K_WAW = DepKind.WAR, DepKind.WAW
+        make_template = RecordTemplate
+        make_record = InternedDepRecord
+        rec_new = object.__new__
+
+        def emit(kind, consumer_seq, consumer_pc, producer_seq, producer_pc, tid):
+            key = (kind, consumer_pc, producer_pc, tid)
+            template = templates.get(key)
+            if template is None:
+                template = templates[key] = make_template(kind, consumer_pc, producer_pc, tid)
+            else:
+                interner.hits += 1
+            # Record construction inlined (three slot stores, no ctor frame).
+            rec = rec_new(make_record)
+            rec.template = template
+            rec.consumer_seq = consumer_seq
+            rec.producer_delta = consumer_seq - producer_seq
+            buf_append(rec)
+            bstats.appended += 1
+            kv = template.kind_value
+            stored[kv] = stored.get(kv, 0) + 1
+            b = template.bytes
+            if b:
+                # Zero-byte kinds (CONTROL/IREG/IMEM — the majority under
+                # full optimization) skip all byte bookkeeping: += 0 and the
+                # capacity check cannot change any counter or evict.
+                cur = buffer.current_bytes + b
+                bstats.appended_bytes += b
+                if cur > bstats.peak_bytes:
+                    bstats.peak_bytes = cur
+                buffer.current_bytes = cur
+                if cur > capacity:
+                    buffer.evict_overflow()
+                stats.stored_bytes += b
+            return b
+
+        def fast_on_instruction(ev):
+            stats.instructions += 1
+            tid = ev.tid
+            seq = ev.seq
+            pc = ev.pc
+            instr = ev.instr
+            op = instr.opcode
+
+            bytes_stored = maintain(ev)
+            instance = block_instance.get(tid, 0)
+
+            parent = observe(ev) if observe is not None else None
+            traced = sel is None or instr.function in sel
+
+            if input_forward_slice:
+                derived = op is IN
+                if not derived:
+                    for reg, _ in ev.reg_reads:
+                        if (tid, reg) in derived_reg:
+                            derived = True
+                            break
+                if not derived:
+                    for addr, _ in ev.mem_reads:
+                        if addr in derived_mem:
+                            derived = True
+                            break
+            else:
+                derived = True
+
+            store_deps = traced and derived
+            if traced and not derived:
+                skipped["input_filter"] = skipped.get("input_filter", 0) + 1
+
+            if naive and traced:
+                bytes_stored += emit(K_INSTR, seq, pc, -1, -1, tid)
+
+            reg_reads = ev.reg_reads
+            if reg_reads:
+                seen_regs = set()
+                for reg, _ in reg_reads:
+                    if reg in seen_regs:
+                        continue
+                    seen_regs.add(reg)
+                    producer = last_reg.get((tid, reg))
+                    if producer is None:
+                        continue
+                    if not store_deps:
+                        continue
+                    if producer[0] == _SUMMARY:
+                        for pseq, ppc in producer[1]:
+                            bytes_stored += emit(K_SUMMARY, seq, pc, pseq, ppc, tid)
+                        continue
+                    _, pseq, ppc, pinstance, ptid = producer
+                    if (
+                        not naive
+                        and infer_intra_block
+                        and ptid == tid
+                        and pinstance == instance
+                    ):
+                        key = (
+                            "static_block"
+                            if not (infer_traces and hot_transitions)
+                            else "static_trace"
+                        )
+                        skipped[key] = skipped.get(key, 0) + 1
+                        bytes_stored += emit(K_IREG, seq, pc, pseq, ppc, tid)
+                        continue
+                    bytes_stored += emit(K_REG, seq, pc, pseq, ppc, tid)
+
+            mem_reads = ev.mem_reads
+            if mem_reads:
+                for addr, _ in mem_reads:
+                    producer = last_mem.get(addr)
+                    if record_war_waw:
+                        readers = last_readers.setdefault(addr, [])
+                        if len(readers) < 8:
+                            readers.append((seq, pc, tid))
+                    if producer is None or not store_deps:
+                        continue
+                    if producer[0] == _SUMMARY:
+                        for pseq, ppc in producer[1]:
+                            bytes_stored += emit(K_SUMMARY, seq, pc, pseq, ppc, tid)
+                        continue
+                    _, pseq, ppc, _, ptid = producer
+                    if not naive and elide_redundant_loads and (op is LOAD or op is POP):
+                        cached = redundant_load.get(pc)
+                        if cached == (addr, pseq):
+                            skipped["redundant_load"] = skipped.get("redundant_load", 0) + 1
+                            bytes_stored += emit(K_IMEM, seq, pc, pseq, ppc, tid)
+                            continue
+                        redundant_load[pc] = (addr, pseq)
+                    bytes_stored += emit(K_MEM, seq, pc, pseq, ppc, tid)
+
+            if parent is not None and store_deps:
+                bytes_stored += emit(
+                    K_CONTROL, seq, pc, parent.branch_seq, parent.branch_pc, tid
+                )
+            if (op is BR or op is BRZ) and observe is not None and traced:
+                bytes_stored += emit(K_BRANCH, seq, pc, -1, -1, tid)
+
+            if record_war_waw and ev.mem_writes:
+                for addr, _ in ev.mem_writes:
+                    prev_writer = last_mem.get(addr)
+                    if prev_writer is not None and prev_writer[0] == _NODE:
+                        _, pseq, ppc, _, ptid = prev_writer
+                        if ptid != tid:
+                            bytes_stored += emit(K_WAW, seq, pc, pseq, ppc, tid)
+                    for rseq, rpc, rtid in last_readers.pop(addr, []):
+                        if rtid != tid:
+                            bytes_stored += emit(K_WAR, seq, pc, rseq, rpc, tid)
+
+            if traced:
+                entry = (_NODE, seq, pc, instance, tid)
+            else:
+                ancestors = set()
+                for reg, _ in ev.reg_reads:
+                    producer = last_reg.get((tid, reg))
+                    if producer is None:
+                        continue
+                    if producer[0] == _NODE:
+                        ancestors.add((producer[1], producer[2]))
+                    else:
+                        ancestors.update(producer[1])
+                for addr, _ in ev.mem_reads:
+                    producer = last_mem.get(addr)
+                    if producer is None:
+                        continue
+                    if producer[0] == _NODE:
+                        ancestors.add((producer[1], producer[2]))
+                    else:
+                        ancestors.update(producer[1])
+                if len(ancestors) > SUMMARY_FANIN_CAP:
+                    ancestors = set(sorted(ancestors)[-SUMMARY_FANIN_CAP:])
+                entry = (_SUMMARY, frozenset(ancestors))
+
+            for reg, _ in ev.reg_writes:
+                last_reg[(tid, reg)] = entry
+                if input_forward_slice:
+                    if derived:
+                        derived_reg.add((tid, reg))
+                    else:
+                        derived_reg.discard((tid, reg))
+            for addr, _ in ev.mem_writes:
+                last_mem[addr] = entry
+                if input_forward_slice:
+                    if derived:
+                        derived_mem.add(addr)
+                    else:
+                        derived_mem.discard(addr)
+
+            if op is SPAWN:
+                # The child's r0 is defined by the spawn's argument flow.
+                child = ev.reg_writes[0][1]
+                last_reg[(child, 0)] = entry
+                if input_forward_slice and derived:
+                    derived_reg.add((child, 0))
+
+            if charge_overhead:
+                machine = self.machine
+                if machine is not None:
+                    machine.add_overhead(stub_cycles + bytes_stored * cycles_per_byte)
+
+        self.on_instruction = fast_on_instruction
 
     def _is_traced(self, ev: InstrEvent) -> bool:
         sel = self.config.selective_functions
@@ -201,7 +539,9 @@ class OnlineTracer(Hook):
                 self._bump_instance(tid)
             self._prev_leader[tid] = ev.pc
         op = ev.instr.opcode
-        self._prev_call_ret[tid] = op in (Opcode.CALL, Opcode.ICALL, Opcode.RET)
+        self._prev_call_ret[tid] = (
+            op is Opcode.CALL or op is Opcode.ICALL or op is Opcode.RET
+        )
         return extra
 
     # -- the hook --------------------------------------------------------------
@@ -210,15 +550,19 @@ class OnlineTracer(Hook):
         stats = self.stats
         stats.instructions += 1
         tid = ev.tid
-        op = ev.instr.opcode
-        bytes_stored = 0
+        seq = ev.seq
+        pc = ev.pc
+        instr = ev.instr
+        op = instr.opcode
+        _emit = self._emit
 
-        bytes_stored += self._maintain_blocks(ev)
+        bytes_stored = self._maintain_blocks(ev)
         instance = self._block_instance.get(tid, 0)
 
         parent = self._control.observe(ev) if self._control is not None else None
 
-        traced = self._is_traced(ev)
+        sel = cfg.selective_functions
+        traced = sel is None or instr.function in sel
 
         # --- input-derived flag of this instruction -------------------------
         if cfg.input_forward_slice:
@@ -242,85 +586,82 @@ class OnlineTracer(Hook):
 
         # --- per-instruction record (naive mode only) ------------------------
         if cfg.naive and traced:
-            bytes_stored += self._store(
-                DepRecord(DepKind.INSTR, ev.seq, ev.pc, tid=tid)
-            )
+            bytes_stored += _emit(DepKind.INSTR, seq, pc, -1, -1, tid)
 
         # --- register dependences ---------------------------------------------
-        seen_regs: set[int] = set()
-        for reg, _ in ev.reg_reads:
-            if reg in seen_regs:
-                continue
-            seen_regs.add(reg)
-            producer = self._last_reg.get((tid, reg))
-            if producer is None:
-                continue
-            if not store_deps:
-                continue
-            if producer[0] == _SUMMARY:
-                for pseq, ppc in producer[1]:
-                    bytes_stored += self._store(
-                        DepRecord(DepKind.SUMMARY, ev.seq, ev.pc, pseq, ppc, tid=tid)
-                    )
-                continue
-            _, pseq, ppc, pinstance, ptid = producer
-            if (
-                not cfg.naive
-                and cfg.infer_intra_block
-                and ptid == tid
-                and pinstance == instance
-            ):
-                key = "static_block" if not self._was_fused(instance) else "static_trace"
-                stats._bump(stats.skipped, key)
-                # The edge is recoverable from the binary at query time:
-                # keep it in the buffer at zero modeled cost.
-                bytes_stored += self._store(
-                    DepRecord(DepKind.IREG, ev.seq, ev.pc, pseq, ppc, tid=tid)
-                )
-                continue
-            bytes_stored += self._store(
-                DepRecord(DepKind.REG, ev.seq, ev.pc, pseq, ppc, tid=tid)
-            )
+        reg_reads = ev.reg_reads
+        if reg_reads:
+            last_reg_get = self._last_reg.get
+            seen_regs: set[int] = set()
+            for reg, _ in reg_reads:
+                if reg in seen_regs:
+                    continue
+                seen_regs.add(reg)
+                producer = last_reg_get((tid, reg))
+                if producer is None:
+                    continue
+                if not store_deps:
+                    continue
+                if producer[0] == _SUMMARY:
+                    for pseq, ppc in producer[1]:
+                        bytes_stored += _emit(DepKind.SUMMARY, seq, pc, pseq, ppc, tid)
+                    continue
+                _, pseq, ppc, pinstance, ptid = producer
+                if (
+                    not cfg.naive
+                    and cfg.infer_intra_block
+                    and ptid == tid
+                    and pinstance == instance
+                ):
+                    key = "static_block" if not self._was_fused(instance) else "static_trace"
+                    skipped = stats.skipped
+                    skipped[key] = skipped.get(key, 0) + 1
+                    # The edge is recoverable from the binary at query time:
+                    # keep it in the buffer at zero modeled cost.
+                    bytes_stored += _emit(DepKind.IREG, seq, pc, pseq, ppc, tid)
+                    continue
+                bytes_stored += _emit(DepKind.REG, seq, pc, pseq, ppc, tid)
 
         # --- memory dependences --------------------------------------------------
-        for addr, _ in ev.mem_reads:
-            producer = self._last_mem.get(addr)
-            readers = self._last_readers.setdefault(addr, [])
-            if cfg.record_war_waw and len(readers) < 8:
-                readers.append((ev.seq, ev.pc, tid))
-            if producer is None or not store_deps:
-                continue
-            if producer[0] == _SUMMARY:
-                for pseq, ppc in producer[1]:
-                    bytes_stored += self._store(
-                        DepRecord(DepKind.SUMMARY, ev.seq, ev.pc, pseq, ppc, tid=tid)
-                    )
-                continue
-            _, pseq, ppc, _, ptid = producer
-            if not cfg.naive and cfg.elide_redundant_loads and op in (Opcode.LOAD, Opcode.POP):
-                cached = self._redundant_load.get(ev.pc)
-                if cached == (addr, pseq):
-                    stats._bump(stats.skipped, "redundant_load")
-                    # Recoverable from the previously stored identical
-                    # dependence: keep the edge at zero modeled cost.
-                    bytes_stored += self._store(
-                        DepRecord(DepKind.IMEM, ev.seq, ev.pc, pseq, ppc, tid=tid)
-                    )
+        mem_reads = ev.mem_reads
+        if mem_reads:
+            record_war_waw = cfg.record_war_waw
+            for addr, _ in mem_reads:
+                producer = self._last_mem.get(addr)
+                if record_war_waw:
+                    readers = self._last_readers.setdefault(addr, [])
+                    if len(readers) < 8:
+                        readers.append((seq, pc, tid))
+                if producer is None or not store_deps:
                     continue
-                self._redundant_load[ev.pc] = (addr, pseq)
-            bytes_stored += self._store(
-                DepRecord(DepKind.MEM, ev.seq, ev.pc, pseq, ppc, tid=tid)
-            )
+                if producer[0] == _SUMMARY:
+                    for pseq, ppc in producer[1]:
+                        bytes_stored += _emit(DepKind.SUMMARY, seq, pc, pseq, ppc, tid)
+                    continue
+                _, pseq, ppc, _, ptid = producer
+                if (
+                    not cfg.naive
+                    and cfg.elide_redundant_loads
+                    and (op is Opcode.LOAD or op is Opcode.POP)
+                ):
+                    cached = self._redundant_load.get(pc)
+                    if cached == (addr, pseq):
+                        skipped = stats.skipped
+                        skipped["redundant_load"] = skipped.get("redundant_load", 0) + 1
+                        # Recoverable from the previously stored identical
+                        # dependence: keep the edge at zero modeled cost.
+                        bytes_stored += _emit(DepKind.IMEM, seq, pc, pseq, ppc, tid)
+                        continue
+                    self._redundant_load[pc] = (addr, pseq)
+                bytes_stored += _emit(DepKind.MEM, seq, pc, pseq, ppc, tid)
 
         # --- control dependence ------------------------------------------------
         if parent is not None and store_deps:
-            bytes_stored += self._store(
-                DepRecord(
-                    DepKind.CONTROL, ev.seq, ev.pc, parent.branch_seq, parent.branch_pc, tid=tid
-                )
+            bytes_stored += _emit(
+                DepKind.CONTROL, seq, pc, parent.branch_seq, parent.branch_pc, tid
             )
         if (op is Opcode.BR or op is Opcode.BRZ) and self._control is not None and traced:
-            bytes_stored += self._store(DepRecord(DepKind.BRANCH, ev.seq, ev.pc, tid=tid))
+            bytes_stored += _emit(DepKind.BRANCH, seq, pc, -1, -1, tid)
 
         # --- WAR/WAW (multithreaded slicing extension) ----------------------------
         if cfg.record_war_waw and ev.mem_writes:
@@ -329,18 +670,14 @@ class OnlineTracer(Hook):
                 if prev_writer is not None and prev_writer[0] == _NODE:
                     _, pseq, ppc, _, ptid = prev_writer
                     if ptid != tid:
-                        bytes_stored += self._store(
-                            DepRecord(DepKind.WAW, ev.seq, ev.pc, pseq, ppc, tid=tid)
-                        )
+                        bytes_stored += _emit(DepKind.WAW, seq, pc, pseq, ppc, tid)
                 for rseq, rpc, rtid in self._last_readers.pop(addr, []):
                     if rtid != tid:
-                        bytes_stored += self._store(
-                            DepRecord(DepKind.WAR, ev.seq, ev.pc, rseq, rpc, tid=tid)
-                        )
+                        bytes_stored += _emit(DepKind.WAR, seq, pc, rseq, rpc, tid)
 
         # --- update last-writer metadata --------------------------------------------
         if traced:
-            entry = (_NODE, ev.seq, ev.pc, instance, tid)
+            entry = (_NODE, seq, pc, instance, tid)
         else:
             # Summarize through untraced code: inherit the traced
             # ancestors of every input so chains are not broken.
@@ -398,6 +735,9 @@ class OnlineTracer(Hook):
         registry.counter("ontrac.instructions").inc(stats.instructions)
         registry.counter("ontrac.stored_bytes").inc(stats.stored_bytes)
         registry.counter("ontrac.hot_traces").inc(stats.hot_traces)
+        if self._interner is not None:
+            registry.counter("ontrac.records_interned").inc(self._interner.hits)
+            registry.gauge("ontrac.record_templates").set(len(self._interner.templates))
         for kind, count in sorted(stats.stored.items()):
             registry.counter(f"ontrac.records.stored.{kind}").inc(count)
         for reason, count in sorted(stats.skipped.items()):

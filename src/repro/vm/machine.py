@@ -23,10 +23,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from .. import fastpath as fastpath_config
 from ..isa.instructions import SP, Instruction, Opcode
 from ..isa.program import Program
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .cost import OPCODE_CLASSES, CostModel, CycleCounters
+from .dispatch import compile_program
 from .errors import FailureInfo, ProgramFailure, VMError
 from .events import HookBus, InstrEvent
 from .io import IOSystem
@@ -90,12 +92,14 @@ class Machine:
         cost_model: CostModel | None = None,
         args: tuple[int, ...] = (),
         telemetry: Telemetry | None = None,
+        fastpath: "fastpath_config.FastPathConfig | bool | None" = None,
     ):
         program.validate()
         self.program = program
         self.scheduler = scheduler or RoundRobinScheduler()
         self.cost_model = cost_model or CostModel()
         self._cost_table = self.cost_model.table()
+        self.fastpath = fastpath_config.resolve_config(fastpath)
         self.telemetry = telemetry or NULL_TELEMETRY
         # One bool, checked like `hooks.active`: the no-op path costs a
         # single attribute load and never touches the cycle model.
@@ -105,6 +109,7 @@ class Machine:
             self._op_counts = [0] * len(self._cost_table)
             self._events_published = 0
             self._blocked_attempts = 0
+            self._dispatch_hits = 0
         self.memory = Memory()
         self.io = IOSystem()
         self.hooks = HookBus()
@@ -120,6 +125,9 @@ class Machine:
         self._occurrences: dict[int, int] = {}  # instr index -> executions
         entry = program.entry_function
         self.threads: list[ThreadContext] = [ThreadContext.create(0, entry.entry, tuple(args))]
+        # Fast path: one precompiled step closure per static instruction
+        # (see repro.vm.dispatch); None keeps the decoded slow path.
+        self._dispatch = compile_program(self) if self.fastpath.vm_dispatch else None
 
     # -- tool API -------------------------------------------------------
     def add_overhead(self, cycles: int) -> None:
@@ -218,6 +226,9 @@ class Machine:
         only completed instructions.
         """
         try:
+            table = self._dispatch
+            if table is not None:
+                return table[thread.pc](thread)
             return self._execute(thread)
         except ProgramFailure as exc:
             self._fail(thread, exc)
@@ -610,6 +621,7 @@ class Machine:
         for cls, count in sorted(class_totals.items()):
             reg.counter(f"vm.instructions.{cls}").inc(count)
         reg.counter("vm.events.published").inc(self._events_published)
+        reg.counter("fastpath.dispatch_hits").inc(self._dispatch_hits)
         reg.counter("vm.scheduler.segments").inc(len(self.schedule_trace))
         reg.counter("vm.scheduler.blocked_attempts").inc(self._blocked_attempts)
         reg.gauge("vm.threads.total").set(len(self.threads))

@@ -53,6 +53,30 @@ class TestShadow:
         s.set_cell(2, True)
         assert snap.cell(2) is None
 
+    @pytest.mark.parametrize("paged", [False, True])
+    def test_clear_range_over_untainted_holes(self, paged):
+        # Regression: a range spanning mostly-untainted addresses must
+        # remove exactly the tainted cells inside it, in one pass, with
+        # the tainted-cell count staying consistent.
+        s = ShadowState(BoolTaintPolicy(), paged=paged)
+        tainted = [3, 4, 9_000, 9_001, 50_000]
+        for a in tainted:
+            s.set_cell(a, True)
+        assert s.tainted_cells == len(tainted)
+        # Range is far larger than the tainted population and overlaps
+        # two distant clusters plus the untainted gulf between them.
+        s.clear_range(2, 10_000)
+        assert s.tainted_cells == 1
+        assert s.cell(50_000) is True
+        for a in tainted[:-1]:
+            assert s.cell(a) is None
+        # Clearing an entirely-untainted range is a no-op.
+        s.clear_range(100, 40_000)
+        assert s.tainted_cells == 1
+        s.clear_range(49_999, 3)
+        assert s.tainted_cells == 0
+        assert s.mem_items() == {}
+
 
 # --- propagation ------------------------------------------------------------
 class TestPropagation:

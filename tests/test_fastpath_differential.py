@@ -1,0 +1,239 @@
+"""Differential proof that the fast path is implementation-only.
+
+Every workload family in :mod:`repro.workloads` runs twice — all
+fast-path flags forced on, then all forced off — and every observable
+must be bit-identical: the RunResult (status, instruction count,
+modeled base and overhead cycles, failure info, schedule), the final
+VM state (per-thread registers, memory cells, io streams), the full
+ONTRAC record stream with its byte accounting and stats tables, the
+dependence graph built from it, and DIFT taint state.  The fast path
+is allowed to be faster; it is never allowed to be different.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.dift import BoolTaintPolicy, DIFTEngine, SinkRule
+from repro.fastpath import FastPathConfig
+from repro.ontrac import OntracConfig
+from repro.tm import Resolution, TMConfig, TransactionalMonitor
+from repro.workloads import (
+    GeneratorConfig,
+    build_server,
+    corpus,
+    generate,
+    lineage_suite,
+    race_kernels,
+    suite,
+)
+from repro.workloads.splash_like import tm_kernels
+
+ON = FastPathConfig.all_on()
+OFF = FastPathConfig.all_off()
+
+SPEC = suite()
+BUGGY = corpus()
+RACES = race_kernels()
+LINEAGE = lineage_suite()
+GEN_SEEDS = list(range(10))
+
+_name = lambda w: w.name  # noqa: E731
+
+
+# --- canonical observable state --------------------------------------------
+def _vm_state(m, res):
+    """Everything observable about one finished run, as comparable data."""
+    failure = res.failure
+    return (
+        res.status,
+        res.instructions,
+        res.cycles.base,
+        res.cycles.overhead,
+        tuple(res.schedule),
+        None
+        if failure is None
+        else (failure.kind, failure.tid, failure.pc, failure.seq, failure.message),
+        tuple(
+            (t.tid, t.pc, tuple(t.regs), t.status, t.result, t.instructions)
+            for t in m.threads
+        ),
+        tuple(sorted(m.memory.cells.items())),
+        tuple(sorted((ch, tuple(vals)) for ch, vals in m.io.outputs.items())),
+    )
+
+
+def _ddg_state(ddg):
+    nodes = tuple(sorted((n.seq, n.pc, n.tid) for n in ddg.nodes.values()))
+    edges = tuple(
+        sorted(
+            (consumer, producer, kind.value)
+            for consumer, deps in ddg.backward.items()
+            for producer, kind in deps
+        )
+    )
+    return nodes, edges, ddg.complete
+
+
+def _plain_state(runner):
+    m, res = runner.run()
+    return _vm_state(m, res)
+
+
+def _traced_state(runner, config=None):
+    m, tracer, res = runner.run_traced(config or OntracConfig())
+    stats = tracer.stats
+    records = tuple(
+        (r.kind, r.consumer_seq, r.consumer_pc, r.producer_seq, r.producer_pc, r.tid, r.bytes)
+        for r in tracer.buffer.records
+    )
+    return (
+        _vm_state(m, res),
+        records,
+        stats.instructions,
+        dict(stats.stored),
+        dict(stats.skipped),
+        stats.stored_bytes,
+        _ddg_state(tracer.dependence_graph()),
+    )
+
+
+def _dift_state(runner):
+    m = runner.machine()
+    engine = DIFTEngine(
+        BoolTaintPolicy(), sinks=[SinkRule(kind="out", action="record")]
+    ).attach(m)
+    res = m.run(max_instructions=runner.max_instructions)
+    shadow = engine.shadow
+    return (
+        _vm_state(m, res),
+        tuple(sorted(shadow.mem_items().items())),
+        tuple(sorted(shadow.regs.items())),
+        tuple(str(alert) for alert in engine.alerts),
+        (engine.stats.instructions, engine.stats.tainted_instructions,
+         engine.stats.sources, engine.stats.sink_checks),
+    )
+
+
+def assert_differential(make_runner, state_fn):
+    """Run fresh runners under all-on and all-off flags; states must match."""
+    with fastpath.overridden(ON):
+        fast = state_fn(make_runner())
+    with fastpath.overridden(OFF):
+        slow = state_fn(make_runner())
+    assert fast == slow
+
+
+# --- SPEC-like suite --------------------------------------------------------
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_plain(w):
+    assert_differential(w.runner, _plain_state)
+
+
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_traced(w):
+    assert_differential(w.runner, _traced_state)
+
+
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_traced_naive(w):
+    # Naive mode exercises the INSTR-record path the optimized config skips.
+    assert_differential(
+        w.runner, lambda r: _traced_state(r, OntracConfig.unoptimized())
+    )
+
+
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_dift(w):
+    assert_differential(w.runner, _dift_state)
+
+
+# --- seeded-bug corpus ------------------------------------------------------
+@pytest.mark.parametrize("b", BUGGY, ids=_name)
+def test_buggy_failing(b):
+    assert_differential(lambda: b.runner(failing=True), _plain_state)
+
+
+@pytest.mark.parametrize("b", BUGGY, ids=_name)
+def test_buggy_passing(b):
+    assert_differential(lambda: b.runner(failing=False), _plain_state)
+
+
+@pytest.mark.parametrize("b", BUGGY, ids=_name)
+def test_buggy_failing_traced(b):
+    assert_differential(lambda: b.runner(failing=True), _traced_state)
+
+
+# --- SPLASH-like race kernels ----------------------------------------------
+@pytest.mark.parametrize("k", RACES, ids=_name)
+def test_race_kernel_plain(k):
+    assert_differential(k.runner, _plain_state)
+
+
+@pytest.mark.parametrize("k", RACES, ids=_name)
+def test_race_kernel_traced(k):
+    # WAR/WAW records are the multithreaded-slicing extension's path.
+    assert_differential(
+        k.runner, lambda r: _traced_state(r, OntracConfig(record_war_waw=True))
+    )
+
+
+# --- scientific lineage workloads ------------------------------------------
+@pytest.mark.parametrize("w", LINEAGE, ids=_name)
+def test_lineage_plain(w):
+    assert_differential(w.runner, _plain_state)
+
+
+@pytest.mark.parametrize("w", LINEAGE, ids=_name)
+def test_lineage_dift(w):
+    assert_differential(w.runner, _dift_state)
+
+
+# --- server scenario --------------------------------------------------------
+def _server_runner():
+    scenario = build_server(workers=2, requests=60, seed=7)
+    return scenario.runner()
+
+
+def test_server_plain():
+    assert_differential(_server_runner, _plain_state)
+
+
+def test_server_traced():
+    assert_differential(_server_runner, _traced_state)
+
+
+def test_server_dift():
+    assert_differential(_server_runner, _dift_state)
+
+
+# --- generated programs -----------------------------------------------------
+@pytest.mark.parametrize("seed", GEN_SEEDS)
+def test_generated_plain(seed):
+    g = generate(seed, GeneratorConfig(use_inputs=True))
+    assert_differential(g.runner, _plain_state)
+
+
+@pytest.mark.parametrize("seed", GEN_SEEDS)
+def test_generated_traced(seed):
+    g = generate(seed, GeneratorConfig(use_inputs=True))
+    assert_differential(g.runner, _traced_state)
+
+
+# --- TM kernels -------------------------------------------------------------
+# ParallelWorkloads are thread-op models driven by the TM monitor, not
+# MiniC programs, so no fast-path code runs under them — included so the
+# flag genuinely covers every workload family in repro.workloads.
+@pytest.mark.parametrize("k", tm_kernels(), ids=_name)
+def test_tm_kernel(k):
+    def state():
+        res = TransactionalMonitor(
+            k, TMConfig(resolution=Resolution.SYNC_AWARE)
+        ).run()
+        return (res.completed, res.livelock, res.commits, res.aborts,
+                res.monitored_cycles)
+
+    with fastpath.overridden(ON):
+        fast = state()
+    with fastpath.overridden(OFF):
+        slow = state()
+    assert fast == slow

@@ -5,13 +5,17 @@ DDG/slicing monotonicity, scheduler reproducibility."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import fastpath
 from repro.apps.lineage import BDDManager
+from repro.dift import BoolTaintPolicy, ShadowState
+from repro.fastpath import FastPathConfig
 from repro.lang import compile_source
 from repro.ontrac import DepKind, DepRecord, OntracConfig, TraceBuffer, build_ddg
 from repro.runner import ProgramRunner
 from repro.slicing import backward_slice, forward_slice
 from repro.util.rng import DeterministicRng
 from repro.vm import Machine, RandomScheduler
+from repro.workloads import GeneratorConfig, generate
 
 BITS = 8
 small_sets = st.sets(st.integers(min_value=0, max_value=(1 << BITS) - 1), max_size=24)
@@ -223,6 +227,93 @@ class TestVMProperties:
         plain, _ = runner.run()
         traced_machine, _, _ = runner.run_traced(OntracConfig())
         assert plain.io.output(1) == traced_machine.io.output(1)
+
+
+# --- fast path --------------------------------------------------------------------
+def _final_state(machine, result):
+    return (
+        result.status,
+        result.instructions,
+        result.cycles.base,
+        result.cycles.overhead,
+        tuple(result.schedule),
+        tuple((t.tid, tuple(t.regs)) for t in machine.threads),
+        tuple(sorted(machine.memory.cells.items())),
+        tuple(sorted((ch, tuple(v)) for ch, v in machine.io.outputs.items())),
+    )
+
+
+class TestFastPathDifferentialFuzz:
+    """200 exhaustively-seeded generated programs through both paths.
+
+    Deliberately a seed sweep rather than a hypothesis strategy: the
+    generator is its own fuzzer, and fixed seeds make a mismatch
+    reproducible by number.
+    """
+
+    N_SEEDS = 200
+
+    def test_generated_programs_bit_identical(self):
+        mismatched = []
+        for seed in range(self.N_SEEDS):
+            g = generate(seed, GeneratorConfig(use_inputs=seed % 2 == 0))
+            with fastpath.overridden(FastPathConfig.all_on()):
+                fast = _final_state(*g.runner().run())
+            with fastpath.overridden(FastPathConfig.all_off()):
+                slow = _final_state(*g.runner().run())
+            if fast != slow:
+                mismatched.append(seed)
+        assert mismatched == []
+
+
+# --- shadow state backends ----------------------------------------------------------
+shadow_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["set", "clear", "clear_range"]),
+        st.integers(min_value=0, max_value=12_000),
+        st.integers(min_value=0, max_value=5_000),
+    ),
+    max_size=60,
+)
+
+
+def _apply(shadow, ops):
+    for op, addr, arg in ops:
+        if op == "set":
+            shadow.set_cell(addr, True)
+        elif op == "clear":
+            shadow.set_cell(addr, None)
+        else:
+            shadow.clear_range(addr, arg)
+
+
+class TestShadowBackendProperties:
+    @given(ops=shadow_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_paged_matches_dict_backend(self, ops):
+        paged = ShadowState(BoolTaintPolicy(), paged=True)
+        plain = ShadowState(BoolTaintPolicy(), paged=False)
+        _apply(paged, ops)
+        _apply(plain, ops)
+        assert sorted(paged.mem_items().items()) == sorted(plain.mem_items().items())
+        assert paged.mem == plain.mem
+        assert paged.tainted_cells == plain.tainted_cells
+        assert paged.shadow_bytes == plain.shadow_bytes
+
+    @given(ops=shadow_ops, more=shadow_ops, paged=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_snapshot_round_trip_is_isolated(self, ops, more, paged):
+        shadow = ShadowState(BoolTaintPolicy(), paged=paged)
+        _apply(shadow, ops)
+        before = sorted(shadow.mem_items().items())
+        snap = shadow.snapshot()
+        assert sorted(snap.mem_items().items()) == before
+        assert snap.tainted_cells == shadow.tainted_cells
+        # Mutating the original never leaks into the snapshot (or back).
+        _apply(shadow, more)
+        assert sorted(snap.mem_items().items()) == before
+        _apply(snap, more)
+        assert sorted(snap.mem_items().items()) == sorted(shadow.mem_items().items())
 
 
 # --- deterministic rng ------------------------------------------------------------

@@ -174,8 +174,22 @@ def cmd_attack(args) -> int:
     policy = PCTaintPolicy() if args.policy == "pc" else BoolTaintPolicy()
     sinks = [SinkRule(kind="icall"), SinkRule(kind="out", channels=None)] \
         if args.out_sink else [SinkRule(kind="icall")]
-    engine = DIFTEngine(policy, sinks=sinks).attach(machine)
+    if args.parallel_helper:
+        from .multicore.parallel import ParallelHelperDIFT
+
+        engine = ParallelHelperDIFT(
+            policy, sinks=sinks, batch_size=args.batch_size
+        ).attach(machine)
+    else:
+        engine = DIFTEngine(policy, sinks=sinks).attach(machine)
     result = machine.run(max_instructions=args.max_instructions)
+    if args.parallel_helper:
+        # Detection is asynchronous on the worker: the guest has already
+        # finished by the time the helper's verdict lands (the paper's
+        # helper-core lag), but alerts and taint are the inline engine's.
+        report = engine.finish()
+        if report.attack is not None:
+            print(f"helper core flagged the run: {report.attack}", file=sys.stderr)
     if telemetry.enabled:
         engine.publish_telemetry(telemetry.registry)
     _write_outputs(
@@ -198,19 +212,19 @@ def cmd_attack(args) -> int:
 def cmd_experiments(args) -> int:
     import json
 
-    from .harness import ALL_EXPERIMENTS
+    from .harness import ALL_EXPERIMENTS, EXTRA_EXPERIMENTS, run_all
 
     names = args.ids or sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:]))
-    results = []
     for name in names:
-        if name not in ALL_EXPERIMENTS:
+        if name not in ALL_EXPERIMENTS and name not in EXTRA_EXPERIMENTS:
             print(f"error: unknown experiment {name}", file=sys.stderr)
             return 2
-        result = ALL_EXPERIMENTS[name]()
-        results.append(result)
+    results = run_all(names, workers=args.workers, timeout_s=args.timeout)
+    for result in results:
         print(result.table())
         if result.notes:
             print(f"notes: {result.notes}")
+        print(f"wall-clock: {result.wall_time_s:.2f} s")
         print()
     if getattr(args, "report", None):
         payload = [
@@ -219,6 +233,7 @@ def cmd_experiments(args) -> int:
                 "claim": r.claim,
                 "headline": r.headline,
                 "metrics": r.metrics,
+                "wall_time_s": r.wall_time_s,
             }
             for r in results
         ]
@@ -270,12 +285,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--policy", choices=("bool", "pc"), default="pc")
     p_attack.add_argument("--out-sink", action="store_true",
                           help="also treat output channels as sinks")
+    p_attack.add_argument("--parallel-helper", action="store_true",
+                          help="run the DIFT engine in a real worker process "
+                               "over the shared-memory ring (asynchronous "
+                               "detection, identical alerts/taint)")
+    p_attack.add_argument("--batch-size", type=int, default=None,
+                          help="ring messages per flush for --parallel-helper "
+                               "(default: repro.fastpath resolution; 1 unless "
+                               "REPRO_FASTPATH_PARALLEL is set)")
     p_attack.set_defaults(func=cmd_attack)
 
     p_exp = sub.add_parser("experiments", help="run paper experiments")
-    p_exp.add_argument("ids", nargs="*", help="experiment ids (E1..E12); default all")
+    p_exp.add_argument("ids", nargs="*",
+                       help="experiment ids (E1..E12, fastpath, parallel); "
+                            "default E1..E12")
     p_exp.add_argument("--report", metavar="PATH",
                        help="write per-experiment results + metrics (JSON) to PATH")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="fan experiments out over N worker processes "
+                            "(results stay in selection order; failures fall "
+                            "back to sequential)")
+    p_exp.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-experiment timeout in seconds when --workers "
+                            "is used")
     p_exp.set_defaults(func=cmd_experiments)
     return parser
 

@@ -27,12 +27,23 @@ Flags (all default **on**):
     the all-clear page: absent pages read as untainted) instead of one
     flat per-address dict, so ``clear_range``/``snapshot`` work per
     page instead of per cell.
+``parallel_batch``
+    Batch the out-of-process DIFT helper's shared-memory channel
+    (:class:`repro.multicore.parallel.ParallelHelperDIFT`): flush
+    :func:`parallel_batch_size` messages per ring publish instead of
+    one, amortizing the IPC cost.  **Default off** — the unbatched
+    channel publishes every message immediately, so nothing about the
+    modeled-cycle timelines or the per-message ordering ever depends
+    on a host-side batching knob, and bit-identity of the simulated
+    helper stays trivially preserved.
 
 Resolution order: explicit argument > process-wide override
 (:func:`configure` / :func:`overridden`) > environment
-(``REPRO_FASTPATH=0`` kills all three; ``REPRO_FASTPATH_VM``,
-``REPRO_FASTPATH_ONTRAC``, ``REPRO_FASTPATH_SHADOW`` toggle one) >
-default-on.
+(``REPRO_FASTPATH=0`` kills everything; ``REPRO_FASTPATH_VM``,
+``REPRO_FASTPATH_ONTRAC``, ``REPRO_FASTPATH_SHADOW`` toggle one;
+``REPRO_FASTPATH_PARALLEL`` opts in to channel batching and
+``REPRO_FASTPATH_PARALLEL_BATCH`` sets the messages-per-flush) >
+defaults (the three implementation flags on, batching off).
 """
 
 from __future__ import annotations
@@ -49,14 +60,20 @@ class FastPathConfig:
     vm_dispatch: bool = True
     intern_records: bool = True
     paged_shadow: bool = True
+    #: batch the parallel helper's shared-memory channel (default off).
+    parallel_batch: bool = False
 
     @classmethod
     def all_on(cls) -> "FastPathConfig":
-        return cls(vm_dispatch=True, intern_records=True, paged_shadow=True)
+        return cls(
+            vm_dispatch=True, intern_records=True, paged_shadow=True, parallel_batch=True
+        )
 
     @classmethod
     def all_off(cls) -> "FastPathConfig":
-        return cls(vm_dispatch=False, intern_records=False, paged_shadow=False)
+        return cls(
+            vm_dispatch=False, intern_records=False, paged_shadow=False, parallel_batch=False
+        )
 
 
 def _env_bool(name: str, default: bool) -> bool:
@@ -73,7 +90,34 @@ def from_env() -> FastPathConfig:
         vm_dispatch=_env_bool("REPRO_FASTPATH_VM", master),
         intern_records=_env_bool("REPRO_FASTPATH_ONTRAC", master),
         paged_shadow=_env_bool("REPRO_FASTPATH_SHADOW", master),
+        # Unlike the implementation flags, batching is opt-in: the master
+        # switch can only force it off, never on.
+        parallel_batch=master and _env_bool("REPRO_FASTPATH_PARALLEL", False),
     )
+
+
+#: messages per ring flush when ``parallel_batch`` is enabled.
+DEFAULT_PARALLEL_BATCH = 256
+
+
+def parallel_batch_size(explicit: int | None = None) -> int:
+    """Resolve the parallel helper's messages-per-flush.
+
+    An explicit positive argument wins; otherwise the ``parallel_batch``
+    flag selects between unbatched (1) and the environment's
+    ``REPRO_FASTPATH_PARALLEL_BATCH`` (default
+    :data:`DEFAULT_PARALLEL_BATCH`).
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError("batch size must be >= 1")
+        return explicit
+    if not current().parallel_batch:
+        return 1
+    raw = os.environ.get("REPRO_FASTPATH_PARALLEL_BATCH")
+    if raw is None:
+        return DEFAULT_PARALLEL_BATCH
+    return max(1, int(raw))
 
 
 _current: FastPathConfig | None = None
@@ -126,11 +170,13 @@ def resolve_config(config: "FastPathConfig | bool | None") -> FastPathConfig:
 
 
 __all__ = [
+    "DEFAULT_PARALLEL_BATCH",
     "FastPathConfig",
     "configure",
     "current",
     "from_env",
     "overridden",
+    "parallel_batch_size",
     "replace",
     "resolve",
     "resolve_config",

@@ -1,5 +1,17 @@
 """Experiment harness: one runner per paper claim (see DESIGN.md §4)."""
 
-from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_all
+from .experiments import (
+    ALL_EXPERIMENTS,
+    EXTRA_EXPERIMENTS,
+    ExperimentResult,
+    run_all,
+    run_experiment,
+)
 
-__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_all"]
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EXTRA_EXPERIMENTS",
+    "ExperimentResult",
+    "run_all",
+    "run_experiment",
+]

@@ -8,6 +8,7 @@ from .channel import (
     shared_memory_channel,
 )
 from .helper import HelperCoreDIFT, HelperReport
+from .parallel import ParallelHelperDIFT, ParallelReport
 
 __all__ = [
     "ChannelModel",
@@ -16,4 +17,6 @@ __all__ = [
     "shared_memory_channel",
     "HelperCoreDIFT",
     "HelperReport",
+    "ParallelHelperDIFT",
+    "ParallelReport",
 ]

@@ -79,11 +79,16 @@ class QueueSimulator:
             flight.popleft()
         stall = 0
         if len(flight) >= self.channel.capacity:
-            oldest = flight.popleft()
-            stall = max(0, oldest - main_time)
+            # Stall until the oldest message completes, then drain every
+            # completion the stall covered — a message only leaves
+            # ``in_flight`` once its completion time has passed, so the
+            # queue depth never counts phantom (or still-pending) slots.
+            stall = max(0, flight[0] - main_time)
             self.stall_cycles += stall
             self.stalls += 1
             main_time += stall
+            while flight and flight[0] <= main_time:
+                flight.popleft()
         start = max(self.helper_free, main_time)
         self.helper_free = start + self.channel.dequeue_cycles + service_cycles
         flight.append(self.helper_free)

@@ -1,0 +1,651 @@
+"""True out-of-process DIFT helper over a shared-memory ring buffer.
+
+:class:`~repro.multicore.helper.HelperCoreDIFT` *models* the paper's
+§2.1 helper-core design on one timeline; this module *realizes* it: the
+application (parent) process executes the guest while a real
+``multiprocessing`` worker runs the unmodified
+:class:`~repro.dift.engine.DIFTEngine` against a replicated shadow
+store.  The two communicate over a fixed-size ring buffer in
+``multiprocessing.shared_memory`` carrying struct-packed 24-byte
+records — the software shared-memory channel of the paper, with the
+enqueue cost paid in real wall-clock time instead of modeled cycles.
+
+Keeping the per-instruction message small is the whole game (the paper
+ships "registers and flags"; we ship less).  Register *numbers* are
+static per pc, so the parent sends each pc's operand template exactly
+once (through the result pipe, strictly before the first ring record
+that references it) and every subsequent message carries only the
+dynamic fields the engine actually reads:
+
+==========  ========================================================
+kind        dynamic payload (fields ``a``, ``b``)
+==========  ========================================================
+K_SKIP      run-length of consecutive engine-no-op instructions
+            (branches, calls, sync — the engine only counts them)
+K_GENERIC   none (ALU/move/LI: shadow update is template-static)
+K_LOAD      effective address (LOAD/POP)
+K_STORE     effective address (STORE/PUSH)
+K_ALLOC     block base, block size
+K_SPAWN     child thread id
+K_IN        input value, input index
+K_SINK      sink operand value, io value (ICALL/OUT)
+==========  ========================================================
+
+The worker reconstructs a per-pc template :class:`InstrEvent`, mutates
+the dynamic fields in place (the engine never retains events), and
+feeds it to the stock engine — so propagation, sink checks and stats
+are the inline engine's own code, byte for byte.  The differential
+suite asserts the returned alerts, taint sets and stats equal an
+inline reference run.
+
+Batching (`repro.fastpath.parallel_batch` / ``--batch-size``) flushes N
+records per ring publish to amortize the position updates; default off
+(flush every record).  No modeled cycles are charged to the machine —
+this helper trades *host* time, and its equivalence contract covers
+observables (alerts / taint / stats), not the cycle model, which is
+what :class:`HelperCoreDIFT` is for.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import struct
+import time
+from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
+
+from .. import fastpath
+from ..dift.engine import DIFTEngine, DIFTStats, SinkRule, TaintAlert
+from ..dift.policy import TaintPolicy
+from ..dift.shadow import ShadowState
+from ..isa.instructions import Opcode
+from ..vm.errors import AttackDetected
+from ..vm.events import Hook, InstrEvent
+from ..vm.machine import Machine
+
+#: one ring record: kind u8, tid u16, pc u32, a i64, b i64, pad -> 24 B.
+RECORD = struct.Struct("<BHIqqx")
+RECORD_SIZE = RECORD.size
+
+K_SKIP = 0
+K_GENERIC = 1
+K_LOAD = 2
+K_STORE = 3
+K_ALLOC = 4
+K_SPAWN = 5
+K_IN = 6
+K_SINK = 7
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+#: ``b`` sentinel for "io_value is None" on K_SINK records.
+_IO_NONE = _I64_MIN
+
+#: shm layout: wpos u64 @0, rpos u64 @8, done u8 @16; data follows.
+_HEADER = 32
+_WPOS = slice(0, 8)
+_RPOS = slice(8, 16)
+_DONE = 16
+
+#: how long (s) the producer sleeps when the ring is full / empty.
+_POLL_S = 0.00002
+
+_CTX = multiprocessing.get_context(
+    "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+)
+
+
+def _fit(v: int) -> int:
+    """Clamp ``v`` into the representable i64 payload range (the true
+    value is restored parent-side via the alert fixup table)."""
+    if v > _I64_MAX:
+        return _I64_MAX
+    if v <= _I64_MIN:
+        return _I64_MIN + 1
+    return v
+
+
+@dataclass
+class ParallelReport:
+    """Outcome of one out-of-process helper run (host-side costs)."""
+
+    instructions: int  # guest instructions observed by the hook
+    messages: int  # data records written to the ring
+    skipped: int  # instructions compressed into K_SKIP runs
+    defs: int  # per-pc templates shipped
+    batches: int  # ring publishes
+    bytes_shipped: int
+    ring_stalls: int  # producer waits for the consumer
+    wall_s: float  # parent: attach -> finish
+    worker_busy_s: float  # worker: time spent inside the engine
+    worker_wall_s: float  # worker: process loop lifetime
+    attack: str | None = None  # AttackDetected message, if one fired
+    culprit_pc: int = -1
+
+    @property
+    def worker_utilization(self) -> float:
+        if self.worker_wall_s <= 0:
+            return 0.0
+        return min(1.0, self.worker_busy_s / self.worker_wall_s)
+
+
+def _worker_main(
+    shm_name: str,
+    data_size: int,
+    conn,
+    policy: TaintPolicy,
+    source_channels,
+    sinks,
+    propagate_addresses: bool,
+) -> None:
+    """Consume the ring and drive the unmodified DIFT engine.
+
+    Runs in the helper process.  Sends one result payload back through
+    ``conn`` when the producer marks the stream done (or an attack
+    freezes the engine, after which the ring is drained unprocessed so
+    the producer never blocks on a full ring).
+    """
+    shm = shared_memory.SharedMemory(name=shm_name)
+    buf = shm.buf
+    engine = DIFTEngine(
+        policy,
+        source_channels=source_channels,
+        sinks=sinks,
+        propagate_addresses=propagate_addresses,
+        charge_overhead=False,
+    )
+    templates: dict[int, InstrEvent] = {}
+    stats = engine.stats
+    seq = 0
+    attack: str | None = None
+    culprit = -1
+    busy = 0.0
+    rpos = 0
+    started = time.perf_counter()
+    iter_unpack = RECORD.iter_unpack
+    perf_counter = time.perf_counter
+    on_instruction = engine.on_instruction
+    templates_get = templates.get
+    SKIP, GENERIC, LOAD, STORE = K_SKIP, K_GENERIC, K_LOAD, K_STORE
+    ALLOC, IN, SINK = K_ALLOC, K_IN, K_SINK
+    io_none = _IO_NONE
+
+    def template_for(pc: int) -> InstrEvent:
+        # The producer sends a pc's template strictly before the first
+        # ring record referencing it, so this recv never deadlocks.
+        while pc not in templates:
+            tpc, instr, reg_reads, reg_writes, channel = conn.recv()
+            templates[tpc] = InstrEvent(
+                seq=0,
+                tid=0,
+                pc=tpc,
+                instr=instr,
+                reg_reads=reg_reads,
+                reg_writes=reg_writes,
+                channel=channel,
+            )
+        return templates[pc]
+
+    try:
+        while True:
+            wpos = int.from_bytes(buf[_WPOS], "little")
+            if wpos == rpos:
+                if buf[_DONE]:
+                    # done is set after the final wpos update; re-read to
+                    # close the race between the two stores.
+                    if int.from_bytes(buf[_WPOS], "little") == rpos:
+                        break
+                    continue
+                time.sleep(_POLL_S)
+                continue
+            off = rpos % data_size
+            n = min(wpos - rpos, data_size - off)
+            chunk = bytes(buf[_HEADER + off : _HEADER + off + n])
+            rpos += n
+            buf[_RPOS] = rpos.to_bytes(8, "little")
+            if attack is not None:
+                continue  # drain without processing; state is frozen
+            t0 = perf_counter()
+            try:
+                for kind, tid, pc, a, b in iter_unpack(chunk):
+                    # Skip records carry pc=0, so they must short-circuit
+                    # before any template lookup.
+                    if kind == SKIP:
+                        stats.instructions += a
+                        seq += a
+                        continue
+                    ev = templates_get(pc)
+                    if ev is None:
+                        ev = template_for(pc)
+                    ev.seq = seq
+                    seq += 1
+                    ev.tid = tid
+                    if kind == GENERIC:
+                        pass
+                    elif kind == LOAD:
+                        ev.mem_reads = ((a, 0),)
+                    elif kind == STORE:
+                        ev.mem_writes = ((a, 0),)
+                    elif kind == SINK:
+                        ev.reg_reads = ((ev.reg_reads[0][0], a),)
+                        ev.io_value = None if b == io_none else b
+                    elif kind == IN:
+                        ev.io_value = a
+                        ev.input_index = b
+                    elif kind == ALLOC:
+                        ev.alloc = (a, b)
+                    else:  # K_SPAWN
+                        ev.reg_writes = ((ev.reg_writes[0][0], a),)
+                    on_instruction(ev)
+            except AttackDetected as exc:
+                # Same stopping point as the inline engine: stats, taint
+                # and alerts freeze exactly where the raise happened.
+                attack = str(exc)
+                culprit = exc.culprit_pc
+            busy += perf_counter() - t0
+        shadow = engine.shadow
+        conn.send(
+            {
+                "stats": stats,
+                "alerts": engine.alerts,
+                "regs": dict(shadow.regs),
+                "mem": shadow.mem_items(),
+                "peak_locations": shadow.peak_locations,
+                "pages_allocated": shadow.pages_allocated,
+                "attack": attack,
+                "culprit_pc": culprit,
+                "busy_s": busy,
+                "wall_s": time.perf_counter() - started,
+            }
+        )
+    finally:
+        conn.close()
+        buf.release()
+        shm.close()
+
+
+class ParallelHelperDIFT(Hook):
+    """Offload DIFT to a real worker process; mirrors ``HelperCoreDIFT``.
+
+    Attach to a machine like the inline engine, run the guest, then call
+    :meth:`finish` (or just read :attr:`alerts` / :attr:`shadow` /
+    :attr:`stats`, which finish implicitly) to collect the worker's
+    results.  ``batch_size=None`` resolves through
+    :func:`repro.fastpath.parallel_batch_size`.
+    """
+
+    def __init__(
+        self,
+        policy: TaintPolicy,
+        source_channels: frozenset[int] | None = None,
+        sinks: list[SinkRule] | None = None,
+        propagate_addresses: bool = False,
+        batch_size: int | None = None,
+        ring_records: int = 1 << 15,
+    ):
+        if ring_records < 64:
+            raise ValueError("ring_records must be >= 64")
+        self.policy = policy
+        self.batch_size = fastpath.parallel_batch_size(batch_size)
+        self.machine: Machine | None = None
+        self._sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
+        self._source_channels = source_channels
+        self._propagate_addresses = propagate_addresses
+        self._data_size = ring_records * RECORD_SIZE
+        self._flush_bytes = min(self.batch_size * RECORD_SIZE, self._data_size // 2)
+        self._batch = bytearray()
+        self._kinds: dict[int, int] = {}
+        self._generic: dict[int, bytes] = {}
+        self._fixups: dict[int, int] = {}
+        #: [pending skip-run length, total skipped, skip records emitted].
+        #: A list so the hot-path closure can mutate it without ``self``.
+        self._skip_cell = [0, 0, 0]
+        self._wpos = 0
+        self._rpos_cache = 0
+        self._defs = 0
+        self._batches = 0
+        self._bytes = 0
+        self._stalls = 0
+        self._t0 = 0.0
+        self._shm: shared_memory.SharedMemory | None = None
+        self._proc = None
+        self._conn = None
+        self._report: ParallelReport | None = None
+        self._stats: DIFTStats | None = None
+        self._alerts: list[TaintAlert] = []
+        self._shadow: ShadowState | None = None
+        self._pages_allocated = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, machine: Machine) -> "ParallelHelperDIFT":
+        self.machine = machine
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER + self._data_size
+        )
+        self._shm.buf[:_HEADER] = bytes(_HEADER)
+        self._conn, child_conn = _CTX.Pipe(duplex=True)
+        self._proc = _CTX.Process(
+            target=_worker_main,
+            args=(
+                self._shm.name,
+                self._data_size,
+                child_conn,
+                self.policy,
+                self._source_channels,
+                self._sinks,
+                self._propagate_addresses,
+            ),
+            daemon=True,
+        )
+        self._proc.start()
+        child_conn.close()
+        # Shadow the class-level hook with a closure whose state lives in
+        # cells/bound methods: the interpreter calls this once per guest
+        # instruction, so every ``self._x`` lookup removed here is a
+        # measurable slice of the application core's overhead.
+        self.on_instruction = self._build_hook()
+        self._t0 = time.perf_counter()
+        machine.hooks.subscribe(self)
+        return self
+
+    # -- the hook ------------------------------------------------------------
+    def _build_hook(self):
+        kinds_get = self._kinds.get
+        generic = self._generic
+        generic_get = generic.get
+        pack = RECORD.pack
+        batch = self._batch
+        extend = batch.extend
+        cell = self._skip_cell
+        fixups = self._fixups
+        flush_bytes = self._flush_bytes
+        publish = self._publish
+        define = self._define
+        fit = _fit
+        io_none = _IO_NONE
+        SKIP, GENERIC, LOAD, STORE = K_SKIP, K_GENERIC, K_LOAD, K_STORE
+        ALLOC, SPAWN, IN, SINK = K_ALLOC, K_SPAWN, K_IN, K_SINK
+
+        def on_instruction(ev: InstrEvent) -> None:
+            pc = ev.pc
+            kind = kinds_get(pc)
+            if kind is None:
+                kind = define(ev)
+            if kind == SKIP:
+                cell[0] += 1
+                return
+            run = cell[0]
+            if run:
+                extend(pack(SKIP, 0, 0, run, 0))
+                cell[1] += run
+                cell[2] += 1
+                cell[0] = 0
+            tid = ev.tid
+            if kind == GENERIC:
+                key = pc << 16 | tid
+                rec = generic_get(key)
+                if rec is None:
+                    rec = pack(GENERIC, tid, pc, 0, 0)
+                    generic[key] = rec
+                extend(rec)
+            elif kind == LOAD:
+                extend(pack(LOAD, tid, pc, ev.mem_reads[0][0], 0))
+            elif kind == STORE:
+                extend(pack(STORE, tid, pc, ev.mem_writes[0][0], 0))
+            elif kind == SINK:
+                value = ev.reg_reads[0][1]
+                io = ev.io_value
+                a = fit(value)
+                b = io_none if io is None else fit(io)
+                if a != value or (io is not None and b != io):
+                    # Taint never depends on these values; remember the
+                    # true sink value so returned alerts can be patched.
+                    fixups[ev.seq] = io if io is not None else value
+                extend(pack(SINK, tid, pc, a, b))
+            elif kind == IN:
+                extend(pack(IN, tid, pc, fit(ev.io_value), ev.input_index))
+            elif kind == ALLOC:
+                base, size = ev.alloc
+                extend(pack(ALLOC, tid, pc, base, size))
+            else:  # K_SPAWN
+                extend(pack(SPAWN, tid, pc, ev.reg_writes[0][1], 0))
+            if len(batch) >= flush_bytes:
+                publish()
+
+        return on_instruction
+
+    def _define(self, ev: InstrEvent) -> int:
+        op = ev.instr.opcode
+        # Must mirror DIFTEngine.on_instruction's dispatch chain so each
+        # pc's record kind matches the branch the worker's engine takes.
+        if op is Opcode.IN:
+            kind = K_IN
+        elif op is Opcode.LOAD or op is Opcode.POP:
+            kind = K_LOAD
+        elif op is Opcode.STORE or op is Opcode.PUSH:
+            kind = K_STORE
+        elif op is Opcode.ALLOC:
+            kind = K_ALLOC
+        elif op is Opcode.SPAWN:
+            kind = K_SPAWN
+        elif ev.reg_writes:
+            kind = K_GENERIC
+        elif op is Opcode.ICALL or op is Opcode.OUT:
+            kind = K_SINK
+        else:
+            kind = K_SKIP
+        self._kinds[ev.pc] = kind
+        if kind != K_SKIP:
+            # Ship the static operand template before any ring record
+            # can reference this pc.
+            self._conn.send((ev.pc, ev.instr, ev.reg_reads, ev.reg_writes, ev.channel))
+            self._defs += 1
+        return kind
+
+    # -- ring producer -------------------------------------------------------
+    def _publish(self) -> None:
+        data = self._batch
+        n = len(data)
+        if not n:
+            return
+        shm = self._shm
+        assert shm is not None
+        buf = shm.buf
+        size = self._data_size
+        wpos = self._wpos
+        pos = 0
+        while pos < n:
+            avail = size - (wpos - self._rpos_cache)
+            if avail < RECORD_SIZE:
+                self._rpos_cache = int.from_bytes(buf[_RPOS], "little")
+                avail = size - (wpos - self._rpos_cache)
+                spins = 0
+                while avail < RECORD_SIZE:
+                    self._stalls += 1
+                    time.sleep(_POLL_S)
+                    spins += 1
+                    if spins % 2000 == 0 and not self._proc.is_alive():
+                        raise RuntimeError(
+                            "parallel DIFT worker died with the ring full"
+                        )
+                    self._rpos_cache = int.from_bytes(buf[_RPOS], "little")
+                    avail = size - (wpos - self._rpos_cache)
+            take = min(avail, n - pos)
+            take -= take % RECORD_SIZE  # publishes stay record-aligned
+            off = wpos % size
+            first = min(take, size - off)
+            buf[_HEADER + off : _HEADER + off + first] = data[pos : pos + first]
+            if first < take:
+                buf[_HEADER : _HEADER + take - first] = data[pos + first : pos + take]
+            wpos += take
+            pos += take
+            # Data is in place before the position becomes visible.
+            buf[_WPOS] = wpos.to_bytes(8, "little")
+        self._wpos = wpos
+        self._batches += 1
+        self._bytes += n
+        # Clear in place: the hot-path closure holds this bytearray.
+        del data[:]
+
+    # -- completion ----------------------------------------------------------
+    def finish(self, timeout_s: float = 300.0) -> ParallelReport:
+        """Flush, signal end-of-stream, and collect the worker's state.
+
+        Idempotent; returns the same :class:`ParallelReport` afterwards.
+        """
+        if self._report is not None:
+            return self._report
+        cell = self._skip_cell
+        if cell[0]:
+            self._batch.extend(RECORD.pack(K_SKIP, 0, 0, cell[0], 0))
+            cell[1] += cell[0]
+            cell[2] += 1
+            cell[0] = 0
+        self._publish()
+        shm = self._shm
+        assert shm is not None and self._proc is not None and self._conn is not None
+        shm.buf[_DONE] = 1
+        deadline = time.monotonic() + timeout_s
+        payload = None
+        while payload is None:
+            if self._conn.poll(0.05):
+                try:
+                    payload = self._conn.recv()
+                except EOFError:
+                    self._cleanup()
+                    raise RuntimeError(
+                        "parallel DIFT worker closed the pipe without results"
+                    ) from None
+                break
+            if not self._proc.is_alive():
+                self._cleanup()
+                raise RuntimeError(
+                    f"parallel DIFT worker exited (code {self._proc.exitcode}) "
+                    "without returning results"
+                )
+            if time.monotonic() > deadline:
+                self._proc.terminate()
+                self._cleanup()
+                raise RuntimeError("parallel DIFT worker timed out")
+        self._proc.join(timeout=10.0)
+        wall = time.perf_counter() - self._t0
+        self._cleanup()
+
+        self._stats = payload["stats"]
+        alerts = payload["alerts"]
+        if self._fixups:
+            alerts = [
+                replace(a, value=self._fixups[a.seq]) if a.seq in self._fixups else a
+                for a in alerts
+            ]
+        self._alerts = alerts
+        shadow = ShadowState(self.policy, regs=payload["regs"], mem=payload["mem"])
+        shadow.peak_locations = payload["peak_locations"]
+        self._shadow = shadow
+        self._pages_allocated = payload["pages_allocated"]
+        # Counters are derived at completion rather than maintained per
+        # event: every record is RECORD_SIZE bytes, so the shipped byte
+        # count gives the message total, and each skip record carries its
+        # run length (accumulated in the cell when the record is cut).
+        messages = self._bytes // RECORD_SIZE
+        skipped = cell[1]
+        self._report = ParallelReport(
+            instructions=(messages - cell[2]) + skipped,
+            messages=messages,
+            skipped=skipped,
+            defs=self._defs,
+            batches=self._batches,
+            bytes_shipped=self._bytes,
+            ring_stalls=self._stalls,
+            wall_s=wall,
+            worker_busy_s=payload["busy_s"],
+            worker_wall_s=payload["wall_s"],
+            attack=payload["attack"],
+            culprit_pc=payload["culprit_pc"],
+        )
+        return self._report
+
+    def _cleanup(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = None
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            if self._proc is not None and self._proc.is_alive():
+                self._proc.terminate()
+            self._cleanup()
+        except Exception:
+            pass
+
+    # -- results (mirror HelperCoreDIFT / DIFTEngine surface) ---------------
+    @property
+    def alerts(self) -> list[TaintAlert]:
+        self.finish()
+        return self._alerts
+
+    @property
+    def shadow(self) -> ShadowState:
+        self.finish()
+        assert self._shadow is not None
+        return self._shadow
+
+    @property
+    def stats(self) -> DIFTStats:
+        self.finish()
+        assert self._stats is not None
+        return self._stats
+
+    def report(self) -> ParallelReport:
+        return self.finish()
+
+    def publish_telemetry(self, registry) -> None:
+        """Dump channel + propagation metrics into a registry (the
+        ``dift.*`` keys mirror ``DIFTEngine.publish_telemetry``)."""
+        rep = self.finish()
+        stats = self.stats
+        shadow = self.shadow
+        registry.counter("dift.instructions").inc(stats.instructions)
+        registry.counter("dift.propagations").inc(stats.tainted_instructions)
+        registry.counter("dift.sources").inc(stats.sources)
+        registry.counter("dift.sink_checks").inc(stats.sink_checks)
+        registry.counter("dift.alerts").inc(len(self.alerts))
+        registry.gauge("dift.taint_rate").set(stats.taint_rate)
+        registry.gauge("dift.tainted_locations.peak").set_max(shadow.peak_locations)
+        registry.gauge("dift.tainted_locations.final").set(
+            shadow.tainted_cells + shadow.tainted_regs
+        )
+        registry.gauge("dift.shadow_bytes").set(shadow.shadow_bytes)
+        registry.counter("shadow.pages_allocated").inc(self._pages_allocated)
+        registry.counter("multicore.parallel.messages").inc(rep.messages)
+        registry.counter("multicore.parallel.instructions").inc(rep.instructions)
+        registry.counter("multicore.parallel.skipped").inc(rep.skipped)
+        registry.counter("multicore.parallel.defs").inc(rep.defs)
+        registry.counter("multicore.parallel.batches").inc(rep.batches)
+        registry.counter("multicore.parallel.bytes_shipped").inc(rep.bytes_shipped)
+        registry.counter("multicore.parallel.ring_stalls").inc(rep.ring_stalls)
+        registry.gauge("multicore.parallel.batch_size").set(self.batch_size)
+        registry.gauge("multicore.parallel.worker_utilization").set(
+            rep.worker_utilization
+        )
+
+
+__all__ = [
+    "K_ALLOC",
+    "K_GENERIC",
+    "K_IN",
+    "K_LOAD",
+    "K_SINK",
+    "K_SKIP",
+    "K_SPAWN",
+    "K_STORE",
+    "RECORD",
+    "RECORD_SIZE",
+    "ParallelHelperDIFT",
+    "ParallelReport",
+]

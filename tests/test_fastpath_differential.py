@@ -237,3 +237,75 @@ def test_tm_kernel(k):
     with fastpath.overridden(OFF):
         slow = state()
     assert fast == slow
+
+
+# --- out-of-process parallel helper -----------------------------------------
+# Three-way equivalence: the inline engine, the simulated helper core
+# (HelperCoreDIFT), and the real worker process (ParallelHelperDIFT)
+# must produce identical taint observables on every run.  Guest-side
+# cycle accounting is excluded on purpose — the simulated helper bills
+# channel costs to the machine while the real worker bills nothing —
+# but everything DIFT *detects* has to match bit for bit.
+from repro.multicore import HelperCoreDIFT, ParallelHelperDIFT  # noqa: E402
+
+
+def _guest_obs(m, res):
+    return (
+        res.status,
+        res.instructions,
+        tuple(res.schedule),
+        tuple(
+            (t.tid, t.pc, tuple(t.regs), t.status, t.result, t.instructions)
+            for t in m.threads
+        ),
+        tuple(sorted(m.memory.cells.items())),
+        tuple(sorted((ch, tuple(vals)) for ch, vals in m.io.outputs.items())),
+    )
+
+
+def _taint_obs(tool):
+    shadow = tool.shadow
+    stats = tool.stats if hasattr(tool, "stats") else tool.engine.stats
+    return (
+        tuple(sorted(shadow.mem_items().items())),
+        tuple(sorted(shadow.regs.items())),
+        tuple(str(alert) for alert in tool.alerts),
+        (stats.instructions, stats.tainted_instructions,
+         stats.sources, stats.sink_checks),
+    )
+
+
+def _record_sinks():
+    return [SinkRule(kind="out", action="record")]
+
+
+def _three_way_states(make_runner):
+    states = []
+    for make_tool in (
+        lambda m: DIFTEngine(BoolTaintPolicy(), sinks=_record_sinks()).attach(m),
+        lambda m: HelperCoreDIFT(BoolTaintPolicy(), sinks=_record_sinks()).attach(m),
+        lambda m: ParallelHelperDIFT(
+            BoolTaintPolicy(), sinks=_record_sinks(), batch_size=64
+        ).attach(m),
+    ):
+        runner = make_runner()
+        m = runner.machine()
+        tool = make_tool(m)
+        res = m.run(max_instructions=runner.max_instructions)
+        if isinstance(tool, ParallelHelperDIFT):
+            tool.finish()
+        states.append((_guest_obs(m, res), _taint_obs(tool)))
+    return states
+
+
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_dift_three_way(w):
+    inline, simulated, parallel = _three_way_states(w.runner)
+    assert inline == simulated
+    assert inline == parallel
+
+
+def test_server_dift_three_way():
+    inline, simulated, parallel = _three_way_states(_server_runner)
+    assert inline == simulated
+    assert inline == parallel

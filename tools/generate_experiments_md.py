@@ -1,4 +1,5 @@
-"""Regenerate EXPERIMENTS.md by running every experiment (E1..E12).
+"""Regenerate EXPERIMENTS.md by running every experiment (E1..E12 plus
+the extra `parallel` wall-clock experiment).
 
 Usage: python tools/generate_experiments_md.py
 """
@@ -6,12 +7,11 @@ Usage: python tools/generate_experiments_md.py
 from __future__ import annotations
 
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.harness.experiments import ALL_EXPERIMENTS  # noqa: E402
+from repro.harness.experiments import ALL_EXPERIMENTS, run_experiment  # noqa: E402
 
 COMMENTARY = {
     "E1": (
@@ -110,6 +110,21 @@ COMMENTARY = {
         "(scatter-pick) naive sets win — see the clustering ablation in "
         "bench_e12."
     ),
+    "parallel": (
+        "The one experiment whose currency *is* wall-clock: a real worker "
+        "process consumes the shared-memory ring and runs the unmodified "
+        "DIFT engine, with every workload's alerts, taint sets and stats "
+        "asserted identical to the inline run. The host-independent claim "
+        "is the app-core CPU row — `time.process_time` never counts the "
+        "worker, so offloading cuts the application core's DIFT cost "
+        ">=1.5x regardless of CPU count. The per-workload wall rows are "
+        "host-dependent: on a single usable CPU the parent and worker "
+        "time-share one core and parity is the ceiling, which "
+        "`usable_cpus` records and `projected_multicore_speedup` "
+        "extrapolates past. Batching is the lever (batch_size=1 is ~2x "
+        "slower than inline; >=256 amortizes the ring publishes) — see "
+        "README 'Parallel helper' and benchmarks/bench_parallel.py."
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -130,15 +145,28 @@ Each section also quotes a **Telemetry** line: counters/gauges from the
 unified metrics registry (`repro.telemetry`), the same snapshot
 `python -m repro experiments <id> --report out.json` serializes.
 
+**Wall-clock vs modeled cycles.** Every number in E1–E12 is in *modeled
+cycles* from the deterministic cost model — the currency in which the
+paper's slowdowns and ratios are reproduced. Host wall-clock time is
+*not* part of those claims: the fast execution path (`repro.fastpath`,
+on by default) makes the simulator itself ~2x faster without moving a
+single modeled number, and the differential suite holds the two
+implementations to bit-identical cycle counts, record streams and
+taint sets. Each section's **Wall-clock** line reports how long the
+host took to run that experiment (also serialized as `wall_time_s` in
+`--report` output) so the modeled and host costs sit side by side.
+Two benchmarks deal in wall-clock on purpose: `bench_fastpath.py`
+(>=2x host speedup, zero change in observables) and the `parallel`
+experiment below, where a real worker process is the claim.
+
 """
 
 
 def main() -> None:
     sections = [HEADER]
-    for name in sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:])):
-        start = time.time()
-        result = ALL_EXPERIMENTS[name]()
-        elapsed = time.time() - start
+    names = sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:])) + ["parallel"]
+    for name in names:
+        result = run_experiment(name)
         sections.append(f"## {result.experiment} — {result.claim}\n")
         sections.append("```")
         sections.append(result.table())
@@ -154,8 +182,8 @@ def main() -> None:
             suffix = f" (+{more} more via `experiments {name} --report`)" if more else ""
             sections.append(f"\n**Telemetry:** {metrics}{suffix}")
         sections.append(f"\n{COMMENTARY[name]}")
-        sections.append(f"\n*(regenerated in {elapsed:.1f} s)*\n")
-        print(f"{name} done in {elapsed:.1f}s")
+        sections.append(f"\n**Wall-clock:** {result.wall_time_s:.1f} s on this host\n")
+        print(f"{name} done in {result.wall_time_s:.1f}s")
     out = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
     out.write_text("\n".join(sections))
     print(f"wrote {out}")

@@ -18,7 +18,9 @@ def test_fastpath_speedup(benchmark):
     report(result)
     assert result.headline["bit_identical"] == 1.0
     assert result.headline["traced_suite_speedup"] >= 2.0
-    # The introspection counters prove the fast paths actually engaged.
+    # The introspection counters prove the fast paths actually engaged
+    # (the packed columnar store subsumes record interning, so its chunk
+    # gauge is the tracer-side engagement signal).
     assert result.metrics["fastpath.dispatch_hits"] > 0
-    assert result.metrics["ontrac.records_interned"] > 0
+    assert result.metrics["ontrac.store.chunks"] > 0
     assert result.metrics["shadow.pages_allocated"] > 0

@@ -22,7 +22,7 @@ from pathlib import Path
 from .dift.engine import DIFTEngine, SinkRule
 from .dift.policy import BoolTaintPolicy, PCTaintPolicy
 from .lang import CompileError, compile_source
-from .ontrac import OnlineTracer, OntracConfig
+from .ontrac import OnlineTracer, OntracConfig, PackedDDG
 from .runner import ProgramRunner
 from .slicing import backward_slice
 from .telemetry import NULL_TELEMETRY, Telemetry, build_report
@@ -144,6 +144,10 @@ def cmd_slice(args) -> int:
         print(f"error: line {args.line} never executed in the window", file=sys.stderr)
         return 2
     sl = backward_slice(ddg, criterion)
+    if isinstance(ddg, PackedDDG):
+        # Surface the indexed engine's query counters (slicing.queries,
+        # memo hits, rows scanned) in --report.
+        ddg.publish_telemetry(telemetry.registry)
     lines = sorted(sl.statement_lines(compiled))
     print(f"criterion: line {args.line} (dynamic instance seq {criterion})")
     print(f"slice: {len(sl.seqs)} dynamic instances, {len(lines)} source lines"

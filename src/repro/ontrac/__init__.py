@@ -4,6 +4,13 @@ from .buffer import BufferStats, TraceBuffer
 from .control_dep import ControlDependenceTracker, Region
 from .ddg import DDGNode, DynamicDependenceGraph, build_ddg
 from .offline import OfflineConfig, OfflineStats, OfflineTracer
+from .packed import (
+    ROW_PAYLOAD_BYTES,
+    PackedDDG,
+    PackedRecord,
+    PackedTraceBuffer,
+    SliceQueryStats,
+)
 from .records import (
     RECORD_BYTES,
     TRACE_FORMATION_BYTES,
@@ -26,6 +33,11 @@ __all__ = [
     "OfflineConfig",
     "OfflineStats",
     "OfflineTracer",
+    "ROW_PAYLOAD_BYTES",
+    "PackedDDG",
+    "PackedRecord",
+    "PackedTraceBuffer",
+    "SliceQueryStats",
     "RECORD_BYTES",
     "TRACE_FORMATION_BYTES",
     "DepKind",

@@ -28,6 +28,12 @@ class BufferStats:
     evicted_bytes: int = 0
     #: occupancy high-water mark in modeled bytes.
     peak_bytes: int = 0
+    #: overflow passes that evicted at least one record.  Both eviction
+    #: entry points (:meth:`TraceBuffer.append`'s inline check and
+    #: :meth:`TraceBuffer.evict_overflow` for direct-append callers)
+    #: route through the same helper, so the counter — like ``evicted``
+    #: and ``evicted_bytes`` — cannot drift between the two paths.
+    eviction_passes: int = 0
 
 
 class TraceBuffer:
@@ -51,26 +57,30 @@ class TraceBuffer:
         if cur > stats.peak_bytes:
             stats.peak_bytes = cur
         if cur > self.capacity_bytes:
-            records = self.records
-            while cur > self.capacity_bytes and records:
-                old_bytes = records.popleft().bytes
-                cur -= old_bytes
-                stats.evicted += 1
-                stats.evicted_bytes += old_bytes
+            cur = self._evict_from(cur)
         self.current_bytes = cur
 
-    def evict_overflow(self) -> None:
-        """Evict oldest-first until occupancy fits the capacity again
-        (for callers that append to :attr:`records` directly)."""
-        cur = self.current_bytes
+    def _evict_from(self, cur: int) -> int:
+        """Oldest-first eviction loop shared by both overflow paths, so
+        ``evicted`` / ``evicted_bytes`` / ``eviction_passes`` are
+        accounted identically no matter which entry point ran."""
         records = self.records
         stats = self.stats
+        evicted = False
         while cur > self.capacity_bytes and records:
             old_bytes = records.popleft().bytes
             cur -= old_bytes
             stats.evicted += 1
             stats.evicted_bytes += old_bytes
-        self.current_bytes = cur
+            evicted = True
+        if evicted:
+            stats.eviction_passes += 1
+        return cur
+
+    def evict_overflow(self) -> None:
+        """Evict oldest-first until occupancy fits the capacity again
+        (for callers that append to :attr:`records` directly)."""
+        self.current_bytes = self._evict_from(self.current_bytes)
 
     def __len__(self) -> int:
         return len(self.records)

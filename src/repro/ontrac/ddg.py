@@ -86,6 +86,21 @@ class DynamicDependenceGraph:
     def pc_of(self, seq: int) -> int:
         return self.nodes[seq].pc
 
+    def tid_of(self, seq: int) -> int:
+        return self.nodes[seq].tid
+
+    def has_node(self, seq: int) -> bool:
+        return seq in self.nodes
+
+    def node_items(self) -> Iterable[tuple[int, int]]:
+        """(seq, pc) pairs in node-insertion order (shared query shape
+        with :class:`~repro.ontrac.packed.PackedDDG`)."""
+        return ((seq, node.pc) for seq, node in self.nodes.items())
+
+    def seqs_of_pcs(self, pcs) -> list[int]:
+        """Seqs of nodes whose pc is in ``pcs``, in insertion order."""
+        return [seq for seq, node in self.nodes.items() if node.pc in pcs]
+
     def instances_of_pc(self, pc: int) -> list[int]:
         """All dynamic instances of static instruction ``pc`` (ascending)."""
         return sorted(n.seq for n in self.nodes.values() if n.pc == pc)

@@ -63,6 +63,22 @@ RECORD_BYTES: dict[DepKind, int] = {
 
 TRACE_FORMATION_BYTES = 16
 
+# --- packed-store encoding tables ------------------------------------------
+# The columnar store (repro.ontrac.packed) keeps one unsigned byte per
+# row for the kind; these tables fix the code assignment and give the
+# hot paths O(1) list lookups for the modeled byte size.
+#: DepKind -> small integer code used in the packed kind column.
+KIND_CODES: dict[DepKind, int] = {kind: code for code, kind in enumerate(DepKind)}
+#: inverse of :data:`KIND_CODES` (code -> DepKind), indexable by code.
+KIND_BY_CODE: tuple[DepKind, ...] = tuple(DepKind)
+#: modeled stored bytes per kind code (RECORD_BYTES, indexable by code).
+KIND_MBYTES: tuple[int, ...] = tuple(RECORD_BYTES[kind] for kind in DepKind)
+#: codes of the node-only record kinds (INSTR/BRANCH: producer fields
+#: are unused and reconstruct as -1).
+NODE_KIND_CODES: frozenset[int] = frozenset(
+    (KIND_CODES[DepKind.INSTR], KIND_CODES[DepKind.BRANCH])
+)
+
 
 @dataclass(frozen=True)
 class DepRecord:

@@ -48,7 +48,9 @@ from ..vm.machine import Machine
 from .buffer import TraceBuffer
 from .control_dep import ControlDependenceTracker
 from .ddg import DynamicDependenceGraph, build_ddg
+from .packed import PackedDDG, PackedTraceBuffer
 from .records import (
+    KIND_CODES,
     TRACE_FORMATION_BYTES,
     DepKind,
     DepRecord,
@@ -83,6 +85,14 @@ class OntracConfig:
     #: Purely an allocation strategy — stored records, bytes and graphs
     #: are identical either way.
     intern_records: bool | None = None
+    #: fast path: store dependences in the columnar packed buffer
+    #: (:class:`~repro.ontrac.packed.PackedTraceBuffer`) and answer
+    #: queries via the indexed slicing engine.  None defers to the
+    #: process-wide repro.fastpath config (default on).  Subsumes
+    #: ``intern_records`` (no record objects exist to intern); again a
+    #: pure storage strategy — stored rows, modeled bytes and graphs
+    #: are identical to the legacy deque.
+    packed_store: bool | None = None
 
     @classmethod
     def unoptimized(cls, **overrides) -> "OntracConfig":
@@ -135,19 +145,29 @@ class OnlineTracer(Hook):
     def __init__(self, program: Program, config: OntracConfig | None = None):
         self.program = program
         self.config = config or OntracConfig()
-        self.buffer = TraceBuffer(self.config.buffer_bytes)
         self.stats = OntracStats()
         self.machine: Machine | None = None
-        # Record constructor: the interner when the fast path is on,
-        # else the DepRecord class itself (both share one signature).
-        if fastpath_config.resolve(self.config.intern_records, "intern_records"):
-            self._interner: RecordInterner | None = RecordInterner()
-            self._rec = self._interner
-            self._emit = self._emit_fast
-        else:
-            self._interner = None
+        # Storage strategy: the packed columnar store subsumes record
+        # interning (there are no record objects left to intern); the
+        # legacy deque picks between the interner and plain DepRecords.
+        self._packed = fastpath_config.resolve(self.config.packed_store, "packed_store")
+        if self._packed:
+            self.buffer: TraceBuffer | PackedTraceBuffer = PackedTraceBuffer(
+                self.config.buffer_bytes
+            )
+            self._interner: RecordInterner | None = None
             self._rec = DepRecord
-            self._emit = self._emit_slow
+            self._emit = self._emit_packed
+        else:
+            self.buffer = TraceBuffer(self.config.buffer_bytes)
+            if fastpath_config.resolve(self.config.intern_records, "intern_records"):
+                self._interner = RecordInterner()
+                self._rec = self._interner
+                self._emit = self._emit_fast
+            else:
+                self._interner = None
+                self._rec = DepRecord
+                self._emit = self._emit_slow
         # Static structure: block leaders per global pc.
         self._leaders: set[int] = set()
         for cfg in build_cfgs(program).values():
@@ -167,7 +187,7 @@ class OnlineTracer(Hook):
         self._derived_reg: set[tuple[int, int]] = set()
         self._derived_mem: set[int] = set()
         self._last_readers: dict[int, list[tuple[int, int, int]]] = {}
-        if self._interner is not None:
+        if self._packed or self._interner is not None:
             self._install_fast_hook()
 
     # -- lifecycle -----------------------------------------------------------
@@ -176,8 +196,15 @@ class OnlineTracer(Hook):
         machine.hooks.subscribe(self)
         return self
 
-    def dependence_graph(self) -> DynamicDependenceGraph:
-        """DDG over the records currently in the buffer."""
+    def dependence_graph(self) -> DynamicDependenceGraph | PackedDDG:
+        """DDG over the records currently in the buffer.
+
+        Packed store: an O(1) :class:`PackedDDG` view whose queries run
+        straight off the columns (and which materializes the legacy
+        dicts lazily).  Legacy store: the materialized graph.
+        """
+        if self._packed:
+            return PackedDDG(self.buffer)
         return build_ddg(self.buffer, complete=self.buffer.stats.evicted == 0)
 
     # -- helpers -------------------------------------------------------------
@@ -250,6 +277,28 @@ class OnlineTracer(Hook):
         stats.stored_bytes += b
         return b
 
+    def _emit_packed(
+        self,
+        kind: DepKind,
+        consumer_seq: int,
+        consumer_pc: int,
+        producer_seq: int = -1,
+        producer_pc: int = -1,
+        tid: int = 0,
+    ) -> int:
+        """Packed path: append one columnar row (the buffer does the
+        byte/eviction accounting); same observable stats as the other
+        emit paths, record for record."""
+        b = self.buffer.append_row(
+            KIND_CODES[kind], consumer_seq, consumer_pc, producer_seq, producer_pc, tid
+        )
+        stats = self.stats
+        stored = stats.stored
+        key = kind.value
+        stored[key] = stored.get(key, 0) + 1
+        stats.stored_bytes += b
+        return b
+
     def _install_fast_hook(self) -> None:
         """Compile a specialized ``on_instruction`` for this tracer.
 
@@ -281,11 +330,6 @@ class OnlineTracer(Hook):
         stored = stats.stored
         skipped = stats.skipped
         buffer = self.buffer
-        buf_append = buffer.records.append
-        bstats = buffer.stats
-        capacity = buffer.capacity_bytes
-        interner = self._interner
-        templates = interner.templates
         maintain = self._maintain_blocks
         block_instance = self._block_instance
         last_reg = self._last_reg
@@ -301,40 +345,64 @@ class OnlineTracer(Hook):
         K_MEM, K_IMEM, K_SUMMARY = DepKind.MEM, DepKind.IMEM, DepKind.SUMMARY
         K_CONTROL, K_BRANCH = DepKind.CONTROL, DepKind.BRANCH
         K_WAR, K_WAW = DepKind.WAR, DepKind.WAW
-        make_template = RecordTemplate
-        make_record = InternedDepRecord
-        rec_new = object.__new__
 
-        def emit(kind, consumer_seq, consumer_pc, producer_seq, producer_pc, tid):
-            key = (kind, consumer_pc, producer_pc, tid)
-            template = templates.get(key)
-            if template is None:
-                template = templates[key] = make_template(kind, consumer_pc, producer_pc, tid)
-            else:
-                interner.hits += 1
-            # Record construction inlined (three slot stores, no ctor frame).
-            rec = rec_new(make_record)
-            rec.template = template
-            rec.consumer_seq = consumer_seq
-            rec.producer_delta = consumer_seq - producer_seq
-            buf_append(rec)
-            bstats.appended += 1
-            kv = template.kind_value
-            stored[kv] = stored.get(kv, 0) + 1
-            b = template.bytes
-            if b:
-                # Zero-byte kinds (CONTROL/IREG/IMEM — the majority under
-                # full optimization) skip all byte bookkeeping: += 0 and the
-                # capacity check cannot change any counter or evict.
-                cur = buffer.current_bytes + b
-                bstats.appended_bytes += b
-                if cur > bstats.peak_bytes:
-                    bstats.peak_bytes = cur
-                buffer.current_bytes = cur
-                if cur > capacity:
-                    buffer.evict_overflow()
-                stats.stored_bytes += b
-            return b
+        if self._packed:
+            append_row = buffer.append_row
+            kind_codes = KIND_CODES
+
+            def emit(kind, consumer_seq, consumer_pc, producer_seq, producer_pc, tid):
+                # The packed buffer fuses the append with every byte /
+                # peak / eviction counter (see append_row); only the
+                # tracer-level per-kind accounting lives here.
+                b = append_row(
+                    kind_codes[kind], consumer_seq, consumer_pc, producer_seq, producer_pc, tid
+                )
+                kv = kind.value
+                stored[kv] = stored.get(kv, 0) + 1
+                if b:
+                    stats.stored_bytes += b
+                return b
+
+        else:
+            buf_append = buffer.records.append
+            bstats = buffer.stats
+            capacity = buffer.capacity_bytes
+            interner = self._interner
+            templates = interner.templates
+            make_template = RecordTemplate
+            make_record = InternedDepRecord
+            rec_new = object.__new__
+
+            def emit(kind, consumer_seq, consumer_pc, producer_seq, producer_pc, tid):
+                key = (kind, consumer_pc, producer_pc, tid)
+                template = templates.get(key)
+                if template is None:
+                    template = templates[key] = make_template(kind, consumer_pc, producer_pc, tid)
+                else:
+                    interner.hits += 1
+                # Record construction inlined (three slot stores, no ctor frame).
+                rec = rec_new(make_record)
+                rec.template = template
+                rec.consumer_seq = consumer_seq
+                rec.producer_delta = consumer_seq - producer_seq
+                buf_append(rec)
+                bstats.appended += 1
+                kv = template.kind_value
+                stored[kv] = stored.get(kv, 0) + 1
+                b = template.bytes
+                if b:
+                    # Zero-byte kinds (CONTROL/IREG/IMEM — the majority under
+                    # full optimization) skip all byte bookkeeping: += 0 and the
+                    # capacity check cannot change any counter or evict.
+                    cur = buffer.current_bytes + b
+                    bstats.appended_bytes += b
+                    if cur > bstats.peak_bytes:
+                        bstats.peak_bytes = cur
+                    buffer.current_bytes = cur
+                    if cur > capacity:
+                        buffer.evict_overflow()
+                    stats.stored_bytes += b
+                return b
 
         def fast_on_instruction(ev):
             stats.instructions += 1
@@ -748,6 +816,13 @@ class OnlineTracer(Hook):
         registry.gauge("ontrac.buffer.peak_bytes").set_max(buf.stats.peak_bytes)
         registry.gauge("ontrac.buffer.window_instructions").set(buf.window_instructions())
         registry.counter("ontrac.buffer.evicted_records").inc(buf.stats.evicted)
+        if self._packed:
+            # Deterministic column-payload figure (allocated chunk bytes),
+            # NOT process residency — tracemalloc-measured residency lives
+            # in benchmarks/bench_slicing.py where determinism is not
+            # required for golden comparisons.
+            registry.gauge("ontrac.store.resident_bytes").set(buf.resident_bytes())
+            registry.gauge("ontrac.store.chunks").set(buf.chunk_count)
 
     def _was_fused(self, instance: int) -> bool:
         """Attribution only: whether this inference region spans a trace.

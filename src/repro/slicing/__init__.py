@@ -1,6 +1,7 @@
 """Dynamic slicing: backward/forward slices, chops, pruning, relevant
 slicing, implicit dependences, multithreaded extensions."""
 
+from .engine import backward_closure, forward_closure
 from .implicit import (
     CriterionRecorder,
     ImplicitDependence,
@@ -27,6 +28,8 @@ from .slicer import (
 )
 
 __all__ = [
+    "backward_closure",
+    "forward_closure",
     "CriterionRecorder",
     "ImplicitDependence",
     "ImplicitSearchResult",

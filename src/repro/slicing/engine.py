@@ -1,0 +1,200 @@
+"""Indexed slicing engine over the packed dependence store.
+
+The legacy slicer BFS-walks ``DynamicDependenceGraph`` dicts, which
+first requires *building* those dicts — one DDGNode and one edge-list
+entry per record object.  This engine answers the same closures
+straight off :class:`~repro.ontrac.packed.PackedTraceBuffer` columns:
+
+* the frontier is a plain stack of seq integers — no node objects;
+* a consumer's dependence rows are one dict hit into the buffer's
+  epoch-cached flat edge view (:meth:`flat_edges`), with producer
+  seq/pc predecoded per row;
+* forward closures bisect the per-chunk reverse indexes (built lazily,
+  cached on the chunk);
+* an LRU memo on the owning :class:`PackedDDG` caches the closure
+  fragment of every seq it finishes, so repeated criteria — fault
+  localization probing many outputs, pruning passes, lineage queries —
+  splice in prior work instead of re-walking the graph.
+
+Closure semantics are the legacy slicer's, bit for bit: same KeyError
+messages for unknown criteria, same ``truncated`` rule (a reached node
+with *no* stored dependence rows at all, of any kind, in an incomplete
+window), same seq/pc sets.  Results are returned as plain
+``(frozenset seqs, frozenset pcs, truncated)`` triples;
+:mod:`repro.slicing.slicer` wraps them into :class:`DynamicSlice`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from ..ontrac.packed import MEMO_CAP
+from ..ontrac.records import KIND_BY_CODE
+
+_SENT16 = 0xFFFF
+_F_CPC = 0
+
+#: kinds frozenset -> per-code wanted flags (10 entries, indexed by code).
+_WANTED_CACHE: dict[frozenset, list[bool]] = {}
+
+
+def _wanted(kinds: frozenset) -> list[bool]:
+    flags = _WANTED_CACHE.get(kinds)
+    if flags is None:
+        flags = [KIND_BY_CODE[code] in kinds for code in range(len(KIND_BY_CODE))]
+        _WANTED_CACHE[kinds] = flags
+    return flags
+
+
+def backward_closure(ddg, criterion: int, kinds) -> tuple[frozenset, frozenset, bool]:
+    """Backward closure of ``criterion`` over the packed columns.
+
+    Returns ``(seqs, pcs, truncated)``; raises the legacy slicer's
+    KeyError verbatim for a criterion outside the window.
+    """
+    ddg.check_epoch()
+    kinds = frozenset(kinds)
+    stats = ddg.query_stats
+    stats.queries += 1
+    memo = ddg.memo
+    key = (False, criterion, kinds)
+    cached = memo.get(key)
+    if cached is not None:
+        memo.move_to_end(key)
+        stats.memo_hits += 1
+        return cached
+    if not ddg.has_node(criterion):
+        raise KeyError(f"criterion seq {criterion} is not in the DDG (outside the window?)")
+    complete = ddg.complete
+    wanted = _wanted(kinds)
+    # Producer seq/pc come predecoded from the flat view, so the inner
+    # loop is one range-map hit plus list reads — a node's pc is
+    # recorded when it is *pushed* (the edge row carries it), which
+    # yields the same pc set as the legacy pop-time add.
+    ranges, kindrow, pseqs, ppcs = ddg.buffer.flat_edges()
+    # Memo keys present for this direction+kinds; probing this set per
+    # pop is far cheaper than building a (False, seq, kinds) tuple and
+    # touching the LRU for the common miss.
+    frag_seqs = {s for (fwd, s, k) in memo if not fwd and k == kinds}
+    seqs: set[int] = set()
+    pcs: set[int] = {ddg.pc_of(criterion)}
+    truncated = False
+    seen = {criterion}
+    stack = [criterion]
+    push = stack.append
+    seqs_add = seqs.add
+    pcs_add = pcs.add
+    seen_add = seen.add
+    ranges_get = ranges.get
+    rows_scanned = 0
+    while stack:
+        seq = stack.pop()
+        if seq in seqs:
+            continue
+        if seq in frag_seqs:
+            # Splice a previously computed closure fragment instead of
+            # re-walking the subgraph below this node.
+            fkey = (False, seq, kinds)
+            memo.move_to_end(fkey)
+            stats.memo_hits += 1
+            fseqs, fpcs, ftrunc = memo[fkey]
+            seqs |= fseqs
+            pcs |= fpcs
+            seen |= fseqs
+            truncated = truncated or ftrunc
+            continue
+        seqs_add(seq)
+        span = ranges_get(seq)
+        if span is None:
+            # Same rule as the legacy BFS: no dependence rows at all
+            # for this node (the edge-only flat view has no span) in an
+            # evicting window means its history may be gone.
+            if not complete:
+                truncated = True
+            continue
+        lo, hi = span
+        rows_scanned += hi - lo
+        for r in range(lo, hi):
+            if not wanted[kindrow[r]]:
+                continue
+            producer = pseqs[r]
+            if producer in seen:
+                continue
+            seen_add(producer)
+            pcs_add(ppcs[r])
+            push(producer)
+    stats.rows_scanned += rows_scanned
+    result = (frozenset(seqs), frozenset(pcs), truncated)
+    memo[key] = result
+    if len(memo) > MEMO_CAP:
+        memo.popitem(last=False)
+    return result
+
+
+def forward_closure(ddg, criterion: int, kinds) -> tuple[frozenset, frozenset, bool]:
+    """Forward closure of ``criterion`` via the per-chunk reverse
+    indexes.  Never truncated (matching the legacy forward slicer)."""
+    ddg.check_epoch()
+    kinds = frozenset(kinds)
+    stats = ddg.query_stats
+    stats.queries += 1
+    memo = ddg.memo
+    key = (True, criterion, kinds)
+    cached = memo.get(key)
+    if cached is not None:
+        memo.move_to_end(key)
+        stats.memo_hits += 1
+        return cached
+    if not ddg.has_node(criterion):
+        raise KeyError(f"criterion seq {criterion} is not in the DDG")
+    buffer = ddg.buffer
+    wanted = _wanted(kinds)
+    seqs: set[int] = set()
+    pcs: set[int] = set()
+    seen = {criterion}
+    stack = [(criterion, ddg.pc_of(criterion))]
+    rows_scanned = 0
+    while stack:
+        seq, pc = stack.pop()
+        if seq in seqs:
+            continue
+        fkey = (True, seq, kinds)
+        fragment = memo.get(fkey)
+        if fragment is not None:
+            memo.move_to_end(fkey)
+            stats.memo_hits += 1
+            fseqs, fpcs, _ = fragment
+            seqs |= fseqs
+            pcs |= fpcs
+            seen |= fseqs
+            continue
+        seqs.add(seq)
+        pcs.add(pc)
+        for c in buffer.live_chunks():
+            pseqs, rows = c.reverse_index()
+            if not pseqs or pseqs[0] > seq or pseqs[-1] < seq:
+                continue
+            lo = bisect_left(pseqs, seq)
+            hi = bisect_right(pseqs, seq, lo)
+            rows_scanned += hi - lo
+            kindcol = c.kind
+            cpccol = c.cpc
+            offs = c.cseq_off
+            base = c.cseq_base
+            over = c.over
+            for i in range(lo, hi):
+                r = rows[i]
+                if not wanted[kindcol[r]]:
+                    continue
+                consumer = base + offs[r]
+                if consumer in seen:
+                    continue
+                seen.add(consumer)
+                v = cpccol[r]
+                stack.append((consumer, over[(r, _F_CPC)] if v == _SENT16 else v))
+    stats.rows_scanned += rows_scanned
+    result = (frozenset(seqs), frozenset(pcs), False)
+    memo[key] = result
+    if len(memo) > MEMO_CAP:
+        memo.popitem(last=False)
+    return result

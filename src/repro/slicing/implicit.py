@@ -131,10 +131,10 @@ def find_implicit_dependences(
     branch_ops = (Opcode.BR, Opcode.BRZ)
     candidates = [
         seq
-        for seq, node in sorted(ddg.nodes.items(), reverse=True)
+        for seq, pc in sorted(ddg.node_items(), reverse=True)
         if seq < criterion_seq
-        and runner.program.code[node.pc].opcode in branch_ops
-        and (potential is None or node.pc in potential)
+        and runner.program.code[pc].opcode in branch_ops
+        and (potential is None or pc in potential)
     ]
 
     for seq in candidates:

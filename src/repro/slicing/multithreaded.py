@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ontrac.ddg import DynamicDependenceGraph
+from ..ontrac.packed import PackedDDG
 from ..ontrac.records import DepKind
 from .slicer import MULTITHREADED_KINDS, DynamicSlice, backward_slice
 
@@ -42,6 +43,30 @@ def cross_thread_dependences(ddg: DynamicDependenceGraph) -> list[CrossThreadDep
     """All dependences connecting two threads (RAW/WAR/WAW on shared
     memory) — the raw material for race detection."""
     found: list[CrossThreadDependence] = []
+    if isinstance(ddg, PackedDDG) and ddg.indexable:
+        # Iterate packed edge rows directly; tids/pcs come from the node
+        # tables (which replicate the legacy graph's first-mention node
+        # attribution) so the result — including the stable-sort tie
+        # order — matches the dict walk below edge for edge.
+        shared = (DepKind.MEM, DepKind.WAR, DepKind.WAW)
+        for cseq, _cpc, _ctid, pseq, _ppc, kind in ddg.iter_edge_rows():
+            if kind not in shared:
+                continue
+            ctid = ddg.tid_of(cseq)
+            ptid = ddg.tid_of(pseq)
+            if ptid != ctid:
+                found.append(
+                    CrossThreadDependence(
+                        kind=kind,
+                        consumer_seq=cseq,
+                        consumer_pc=ddg.pc_of(cseq),
+                        consumer_tid=ctid,
+                        producer_seq=pseq,
+                        producer_pc=ddg.pc_of(pseq),
+                        producer_tid=ptid,
+                    )
+                )
+        return sorted(found, key=lambda d: d.consumer_seq)
     for consumer, edges in ddg.backward.items():
         ctid = ddg.nodes[consumer].tid
         for producer, kind in edges:

@@ -26,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..ontrac.ddg import DynamicDependenceGraph
+from ..ontrac.packed import PackedDDG
+from .engine import backward_closure
 from .slicer import DEFAULT_KINDS, DynamicSlice
 
 
@@ -62,8 +64,19 @@ def prune_slice(
     # the classified outputs, restricted to slice members.
     reaches_correct: set[int] = set()
     reaches_incorrect: set[int] = set()
+    indexed = isinstance(ddg, PackedDDG) and ddg.indexable
     for targets, marker in ((correct_outputs, reaches_correct),
                             (incorrect_outputs, reaches_incorrect)):
+        if indexed:
+            # The multi-source reachability set is the union of the
+            # per-target backward closures (closures are transitive), so
+            # the indexed engine — and its memo, across the two passes
+            # and repeated prune calls — serves each target directly.
+            for target in targets:
+                if ddg.has_node(target):
+                    closure_seqs, _, _ = backward_closure(ddg, target, kinds)
+                    marker |= closure_seqs
+            continue
         queue = deque(t for t in targets if t in ddg.nodes)
         seen = set(queue)
         while queue:

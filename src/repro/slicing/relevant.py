@@ -88,8 +88,10 @@ def relevant_slice(
     base = backward_slice(ddg, criterion, kinds=kinds)
     potential_pcs = branches_with_potential_stores(program)
     result = RelevantSlice(base=base, seqs=set(base.seqs), pcs=set(base.pcs))
-    for seq, node in ddg.nodes.items():
-        if seq > criterion or node.pc not in potential_pcs:
+    # seqs_of_pcs preserves node-insertion order on both DDG flavors, so
+    # potential_branches accumulate exactly as the nodes-dict loop did.
+    for seq in ddg.seqs_of_pcs(potential_pcs):
+        if seq > criterion:
             continue
         if seq in result.seqs:
             continue

@@ -15,7 +15,9 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..ontrac.ddg import DynamicDependenceGraph
+from ..ontrac.packed import PackedDDG
 from ..ontrac.records import DepKind
+from .engine import backward_closure, forward_closure
 
 #: dependence kinds followed by ordinary (data+control) slicing.
 #: IREG/IMEM are the zero-cost statically-recoverable edges the
@@ -57,6 +59,14 @@ def backward_slice(
     kinds: frozenset[DepKind] = DEFAULT_KINDS,
 ) -> DynamicSlice:
     """Transitive closure of ``kinds`` dependences ending at ``criterion``."""
+    if isinstance(ddg, PackedDDG) and ddg.indexable:
+        # Indexed engine: walks packed columns directly (and consults /
+        # feeds the closure-fragment memo).  Same seqs/pcs/truncated as
+        # the BFS below, proven by the differential suite.
+        seqs, pcs, truncated = backward_closure(ddg, criterion, kinds)
+        return DynamicSlice(
+            criterion=criterion, seqs=set(seqs), pcs=set(pcs), truncated=truncated
+        )
     if criterion not in ddg.nodes:
         raise KeyError(f"criterion seq {criterion} is not in the DDG (outside the window?)")
     result = DynamicSlice(criterion=criterion)
@@ -86,6 +96,9 @@ def forward_slice(
     kinds: frozenset[DepKind] = DEFAULT_KINDS,
 ) -> DynamicSlice:
     """Everything (transitively) affected by ``criterion``."""
+    if isinstance(ddg, PackedDDG) and ddg.indexable:
+        seqs, pcs, _ = forward_closure(ddg, criterion, kinds)
+        return DynamicSlice(criterion=criterion, seqs=set(seqs), pcs=set(pcs))
     if criterion not in ddg.nodes:
         raise KeyError(f"criterion seq {criterion} is not in the DDG")
     result = DynamicSlice(criterion=criterion)

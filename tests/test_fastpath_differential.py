@@ -309,3 +309,79 @@ def test_server_dift_three_way():
     inline, simulated, parallel = _three_way_states(_server_runner)
     assert inline == simulated
     assert inline == parallel
+
+
+# --- slice equality: packed indexed engine vs legacy BFS ---------------------
+# The tests above prove the record stream and the materialized DDG are
+# identical; these prove the *query layer* is too — every backward and
+# forward slice must produce the same (seqs, pcs, truncated) under the
+# packed store's indexed engine (flags on) as under the legacy
+# dict-walking slicer (flags off).
+from repro.slicing import (  # noqa: E402
+    backward_slice,
+    forward_slice,
+    multithreaded_backward_slice,
+)
+
+
+def _slice_state(runner, config=None, n_criteria=8, multithreaded=False):
+    _, tracer, _ = runner.run_traced(config or OntracConfig())
+    ddg = tracer.dependence_graph()
+    seqs = sorted(seq for seq, _ in ddg.node_items())
+    crits = seqs[:: max(1, len(seqs) // n_criteria)][:n_criteria]
+    states = []
+    for crit in crits + crits:  # repeats drive the packed closure memo
+        bs = (multithreaded_backward_slice if multithreaded else backward_slice)(
+            ddg, crit
+        )
+        fs = forward_slice(ddg, crit)
+        states.append(
+            (crit, tuple(sorted(bs.seqs)), tuple(sorted(bs.pcs)), bs.truncated,
+             tuple(sorted(fs.seqs)), tuple(sorted(fs.pcs)))
+        )
+    return tuple(states)
+
+
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_slices(w):
+    assert_differential(w.runner, _slice_state)
+
+
+@pytest.mark.parametrize("w", SPEC, ids=_name)
+def test_spec_slices_evicting_window(w):
+    # A window small enough to evict exercises the truncation rule and
+    # the packed store's head-offset eviction path on both sides.
+    assert_differential(
+        w.runner,
+        lambda r: _slice_state(r, OntracConfig(buffer_bytes=4096)),
+    )
+
+
+@pytest.mark.parametrize("b", BUGGY, ids=_name)
+def test_buggy_failing_slices(b):
+    assert_differential(lambda: b.runner(failing=True), _slice_state)
+
+
+@pytest.mark.parametrize("k", RACES, ids=_name)
+def test_race_kernel_multithreaded_slices(k):
+    assert_differential(
+        k.runner,
+        lambda r: _slice_state(
+            r, OntracConfig(record_war_waw=True), multithreaded=True
+        ),
+    )
+
+
+@pytest.mark.parametrize("w", LINEAGE, ids=_name)
+def test_lineage_slices(w):
+    assert_differential(w.runner, _slice_state)
+
+
+def test_server_slices():
+    assert_differential(_server_runner, _slice_state)
+
+
+@pytest.mark.parametrize("seed", GEN_SEEDS)
+def test_generated_slices(seed):
+    g = generate(seed, GeneratorConfig(use_inputs=True))
+    assert_differential(g.runner, _slice_state)

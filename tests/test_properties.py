@@ -10,7 +10,15 @@ from repro.apps.lineage import BDDManager
 from repro.dift import BoolTaintPolicy, ShadowState
 from repro.fastpath import FastPathConfig
 from repro.lang import compile_source
-from repro.ontrac import DepKind, DepRecord, OntracConfig, TraceBuffer, build_ddg
+from repro.ontrac import (
+    DepKind,
+    DepRecord,
+    OntracConfig,
+    PackedDDG,
+    PackedTraceBuffer,
+    TraceBuffer,
+    build_ddg,
+)
 from repro.runner import ProgramRunner
 from repro.slicing import backward_slice, forward_slice
 from repro.util.rng import DeterministicRng
@@ -148,6 +156,56 @@ class TestSliceProperties:
         a, b = nodes[0], nodes[-1]
         # b in forward(a) iff a in backward(b)
         assert (b in forward_slice(ddg, a).seqs) == (a in backward_slice(ddg, b).seqs)
+
+
+# --- packed store vs legacy slicer equivalence --------------------------------------
+class TestPackedSliceEquivalence:
+    """100 seeded random dependence streams through both stores; random
+    criteria and random kinds sets must slice identically under the
+    packed indexed engine and the legacy dict-walking BFS — including
+    truncation under small, evicting windows."""
+
+    EDGE_KINDS = [DepKind.REG, DepKind.MEM, DepKind.IREG, DepKind.IMEM,
+                  DepKind.CONTROL, DepKind.SUMMARY, DepKind.WAR, DepKind.WAW]
+
+    def test_hundred_seed_random_slices(self):
+        for seed in range(100):
+            rng = DeterministicRng(seed)
+            capacity = (512, 4096, 1 << 20)[seed % 3]
+            legacy = TraceBuffer(capacity_bytes=capacity)
+            packed = PackedTraceBuffer(capacity_bytes=capacity)
+            n = 40 + (seed % 4) * 40
+            for consumer in range(n):
+                recs = [DepRecord(DepKind.INSTR, consumer, consumer % 13,
+                                  tid=consumer % 3)]
+                if consumer:
+                    for _ in range(rng.randint(0, 3)):
+                        producer = rng.randint(0, consumer - 1)
+                        kind = self.EDGE_KINDS[rng.randint(0, len(self.EDGE_KINDS) - 1)]
+                        recs.append(
+                            DepRecord(kind, consumer, consumer % 13,
+                                      producer, producer % 13, tid=consumer % 3)
+                        )
+                for rec in recs:
+                    legacy.append(rec)
+                    packed.append(rec)
+            ref = build_ddg(legacy, complete=legacy.stats.evicted == 0)
+            ddg = PackedDDG(packed)
+            assert ddg.indexable
+            nodes = sorted(ref.nodes)
+            for _ in range(3):
+                crit = nodes[rng.randint(0, len(nodes) - 1)]
+                kinds = frozenset(
+                    k for k in self.EDGE_KINDS if rng.randint(0, 1)
+                ) or frozenset({DepKind.REG})
+                a = backward_slice(ddg, crit, kinds)
+                b = backward_slice(ref, crit, kinds)
+                assert (a.seqs, a.pcs, a.truncated) == (b.seqs, b.pcs, b.truncated), \
+                    (seed, crit, sorted(k.value for k in kinds))
+                af = forward_slice(ddg, crit, kinds)
+                bf = forward_slice(ref, crit, kinds)
+                assert (af.seqs, af.pcs, af.truncated) == (bf.seqs, bf.pcs, bf.truncated), \
+                    (seed, crit, sorted(k.value for k in kinds))
 
 
 # --- VM determinism -----------------------------------------------------------------

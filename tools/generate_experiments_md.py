@@ -1,5 +1,5 @@
 """Regenerate EXPERIMENTS.md by running every experiment (E1..E12 plus
-the extra `parallel` wall-clock experiment).
+the extra `slicing` and `parallel` wall-clock experiments).
 
 Usage: python tools/generate_experiments_md.py
 """
@@ -110,6 +110,20 @@ COMMENTARY = {
         "(scatter-pick) naive sets win — see the clustering ablation in "
         "bench_e12."
     ),
+    "slicing": (
+        "Another wall-clock experiment: the packed columnar store answers "
+        "the same criterion batch >=3x faster than the legacy object-deque "
+        "pipeline (which must build one DDGNode + edge-list entry per "
+        "record before its first query) with every slice's (seqs, pcs, "
+        "truncated) asserted identical. The residency rows separate the "
+        "paper's *modeled* bytes/instruction (the wire format ONTRAC "
+        "accounts, ~3.7 B/instr here) from the *measured* tracemalloc "
+        "bytes the store actually occupies: the legacy deque of record "
+        "objects runs ~55x over the modeled figure, the packed 15-byte "
+        "column rows land within ~12x (allocator-granular chunks, "
+        "consumer index included) — a >=4x real-memory cut at an equal "
+        "window, which is the resource E3 trades for history."
+    ),
     "parallel": (
         "The one experiment whose currency *is* wall-clock: a real worker "
         "process consumes the shared-memory ring and runs the unmodified "
@@ -155,16 +169,20 @@ implementations to bit-identical cycle counts, record streams and
 taint sets. Each section's **Wall-clock** line reports how long the
 host took to run that experiment (also serialized as `wall_time_s` in
 `--report` output) so the modeled and host costs sit side by side.
-Two benchmarks deal in wall-clock on purpose: `bench_fastpath.py`
-(>=2x host speedup, zero change in observables) and the `parallel`
-experiment below, where a real worker process is the claim.
+Three benchmarks deal in wall-clock (and real bytes) on purpose:
+`bench_fastpath.py` (>=2x host speedup, zero change in observables),
+the `slicing` experiment below (packed columnar dependence store:
+>=3x faster queries and >=4x lower *measured* store residency —
+tracemalloc bytes, not the modeled `bytes_per_instruction`, which the
+legacy object store exceeded ~55x), and the `parallel` experiment,
+where a real worker process is the claim.
 
 """
 
 
 def main() -> None:
     sections = [HEADER]
-    names = sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:])) + ["parallel"]
+    names = sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:])) + ["slicing", "parallel"]
     for name in names:
         result = run_experiment(name)
         sections.append(f"## {result.experiment} — {result.claim}\n")

@@ -1,0 +1,54 @@
+"""Analysis service — throughput scaling, overload shedding, cache hits.
+
+Wraps :func:`repro.harness.experiments.run_service`, which stands up
+real daemons on Unix sockets and measures three things the service
+subsystem promises:
+
+* **Worker scaling** — the same cache-defeating job mix against a
+  1-worker and a 4-worker daemon.  Job execution is process-per-worker,
+  so with >=2 usable CPUs the 4-worker daemon must clear >=1.5x the
+  1-worker throughput; on one CPU the workers time-share a core and the
+  ratio is only recorded (same gating as ``bench_parallel``).
+* **Overload** — a burst of 2.5x the admission capacity against one
+  worker.  The invariant asserted is the paper's logging/replay split
+  as live policy: every request gets an answer (zero hangs, zero
+  crashes), overload degrades fidelity first and REJECTs only at the
+  capacity wall.
+* **Cache idempotency** — a repeated slice job must be served from
+  cache, byte-identical to the cold result, and >=5x faster.
+
+The merged result lands in ``BENCH_service.json``.
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_service
+
+
+def test_service(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_service(jobs=12, scale=2), rounds=1, iterations=1
+    )
+    report(result)
+
+    # Never-hang is the hard contract, regardless of host shape.
+    assert result.headline["overload_hangs"] == 0.0
+    # The burst must be fully accounted for: every job answered with a
+    # definite status, shedding via degraded/rejected rather than crashes.
+    answered = (
+        result.headline["overload_ok"]
+        + result.headline["overload_degraded"]
+        + result.headline["overload_rejected"]
+    )
+    assert answered == 10.0
+    # Overload at 2.5x capacity must actually shed something.
+    assert result.headline["overload_degraded"] + result.headline["overload_rejected"] > 0
+
+    # Cached repeats: bit-identical and >=5x faster than the cold run.
+    assert result.headline["cache_identical"] == 1.0
+    assert result.headline["cache_speedup"] >= 5.0
+
+    # Throughput scaling is host-dependent: with one usable CPU the four
+    # workers time-share a core, so the ratio is only recorded.
+    if result.headline["usable_cpus"] >= 2:
+        assert result.headline["worker_scaling"] >= 1.5

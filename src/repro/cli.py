@@ -9,6 +9,9 @@ Commands:
   instance of source line N; print the slice as source lines
 * ``attack FILE``       — execute under the DIFT attack monitor
 * ``experiments [IDS]`` — run paper experiments (default: all of E1..E12)
+* ``serve``             — run the analysis service daemon
+* ``submit KIND``       — submit one job (or stats/health/shutdown) to a
+  running daemon and print the JSON response
 
 Inputs are passed as ``--input CH=V1,V2,...`` (repeatable).
 """
@@ -248,6 +251,92 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import AnalysisServer, ServiceConfig
+
+    if (args.socket is None) == (args.port is None):
+        print("error: serve needs exactly one of --socket or --port", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_s=args.deadline,
+        cache_entries=args.cache_entries,
+        degrade=False if args.no_degrade else None,
+        allow_chaos=args.allow_chaos,
+    )
+    server = AnalysisServer(config)
+    server.start()
+    # Printed after bind so an ephemeral --port 0 shows the real port.
+    print(f"serving on {config.address()} "
+          f"(workers={config.workers}, capacity={config.queue_capacity})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("service stopped", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .service import STATUS_DEGRADED, STATUS_OK, STATUS_REJECTED, ServiceClient, ServiceError
+
+    params: dict = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"error: --params is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("error: --params must be a JSON object", file=sys.stderr)
+            return 2
+    if args.line is not None:
+        params["line"] = args.line
+    is_job = args.kind not in ("stats", "health", "shutdown")
+    if is_job and args.kind != "chaos" and (args.workload is None) == (args.file is None):
+        print("error: submit needs exactly one of --workload or --file", file=sys.stderr)
+        return 2
+    source = Path(args.file).read_text() if is_job and args.file else None
+
+    try:
+        with ServiceClient(args.connect, timeout_s=args.timeout) as client:
+            if args.kind in ("stats", "health"):
+                response = client.request({"kind": args.kind})
+            elif args.kind == "shutdown":
+                response = client.shutdown()
+            else:
+                response = client.submit(
+                    args.kind,
+                    workload=args.workload,
+                    scale=args.scale,
+                    source=source,
+                    fidelity=args.fidelity,
+                    params=params or None,
+                    cache=not args.no_cache,
+                    deadline_s=args.deadline,
+                )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    json.dump(response, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    status = response.get("status")
+    if status in (STATUS_OK, STATUS_DEGRADED):
+        return 0
+    if status == STATUS_REJECTED:
+        return 3  # backpressure: distinct from job failure for scripts
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Scalable DIFT and its applications (IPDPS'08 reproduction)"
@@ -301,7 +390,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*",
-                       help="experiment ids (E1..E12, fastpath, parallel); "
+                       help="experiment ids (E1..E12, fastpath, slicing, "
+                            "parallel, service); "
                             "default E1..E12")
     p_exp.add_argument("--report", metavar="PATH",
                        help="write per-experiment results + metrics (JSON) to PATH")
@@ -313,6 +403,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-experiment timeout in seconds when --workers "
                             "is used")
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_serve = sub.add_parser("serve", help="run the analysis service daemon")
+    p_serve.add_argument("--socket", metavar="PATH",
+                         help="Unix socket path to listen on")
+    p_serve.add_argument("--port", type=int, metavar="N",
+                         help="TCP port to listen on (0 = ephemeral)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="analysis worker processes (default 2)")
+    p_serve.add_argument("--queue-capacity", type=int, default=8,
+                         help="admitted-job ceiling before REJECTED (default 8)")
+    p_serve.add_argument("--deadline", type=float, default=120.0, metavar="S",
+                         help="default per-job deadline in seconds")
+    p_serve.add_argument("--cache-entries", type=int, default=256,
+                         help="result cache capacity (jobs)")
+    p_serve.add_argument("--no-degrade", action="store_true",
+                         help="never shed fidelity under load "
+                              "(jobs run full or get REJECTED)")
+    p_serve.add_argument("--allow-chaos", action="store_true",
+                         help="admit test-only chaos jobs (crash/hang injection)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running analysis service"
+    )
+    p_submit.add_argument("kind",
+                          choices=("trace", "slice", "attack", "lineage",
+                                   "chaos", "stats", "health", "shutdown"),
+                          help="job kind, or a control request")
+    p_submit.add_argument("--connect", required=True, metavar="ADDR",
+                          help="unix:///path, tcp://host:port, or a socket path")
+    p_submit.add_argument("--workload", metavar="NAME",
+                          help="named workload (matmul, sort, hashloop, rle, bfs, fsm)")
+    p_submit.add_argument("--file", metavar="PATH", help="MiniC source file to submit")
+    p_submit.add_argument("--scale", type=int, default=1)
+    p_submit.add_argument("--fidelity", choices=("full", "dift", "log"), default=None,
+                          help="requested fidelity (default full)")
+    p_submit.add_argument("--line", type=int, default=None,
+                          help="slice criterion source line (slice jobs)")
+    p_submit.add_argument("--params", metavar="JSON",
+                          help="extra job params as a JSON object")
+    p_submit.add_argument("--no-cache", action="store_true",
+                          help="bypass the server's result cache")
+    p_submit.add_argument("--deadline", type=float, default=None, metavar="S",
+                          help="per-job deadline in seconds")
+    p_submit.add_argument("--timeout", type=float, default=150.0, metavar="S",
+                          help="client-side response timeout")
+    p_submit.set_defaults(func=cmd_submit)
     return parser
 
 
@@ -327,6 +465,14 @@ def main(argv: list[str] | None = None) -> int:
     except CompileError as exc:
         print(f"compile error: {exc}", file=sys.stderr)
         return 2
+    except ValueError as exc:
+        # Malformed argument values (e.g. --input CH=V with a non-integer)
+        # are user errors, not crashes: one line on stderr, exit 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

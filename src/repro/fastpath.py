@@ -141,6 +141,25 @@ def parallel_batch_size(explicit: int | None = None) -> int:
     return max(1, int(raw))
 
 
+def service_degrade_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the analysis service's degraded-mode policy.
+
+    When on (the default), an overloaded daemon sheds *fidelity* first
+    — full tracing falls back to DIFT-only, then logging-only, the
+    paper's §2.2 cheap-logging/expensive-replay split — and only sheds
+    *jobs* (REJECTED) at the hard capacity wall.  When off, overload
+    goes straight to REJECTED with no degraded rung.
+
+    Unlike the implementation flags above this is an admission *policy*,
+    not a bit-identity lever, so it lives beside — not inside —
+    :class:`FastPathConfig`: an explicit argument wins, otherwise
+    ``REPRO_SERVICE_DEGRADE`` decides (default on).
+    """
+    if explicit is not None:
+        return explicit
+    return _env_bool("REPRO_SERVICE_DEGRADE", True)
+
+
 _current: FastPathConfig | None = None
 
 
@@ -201,4 +220,5 @@ __all__ = [
     "replace",
     "resolve",
     "resolve_config",
+    "service_degrade_enabled",
 ]

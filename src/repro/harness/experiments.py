@@ -1044,6 +1044,162 @@ def run_parallel(scale: int = 2, repeats: int = 2, batch_size: int = 256) -> Exp
     return result
 
 
+def run_service(
+    jobs: int = 8, scale: int = 1, scaled_workers: int = 4, burst: int = 10
+) -> ExperimentResult:
+    """Throughput, overload shedding and cache idempotency of the
+    analysis service (:mod:`repro.service`).
+
+    Three live measurements against real daemons on Unix sockets:
+
+    * **Worker scaling** — ``jobs`` cache-defeating jobs of interleaved
+      kinds against a 1-worker and a ``scaled_workers``-worker daemon;
+      the ratio of job throughputs is the pool's process-level scaling.
+      Meaningful only with >=2 usable CPUs (``usable_cpus`` records the
+      regime; on one CPU the workers time-share a core).
+    * **Overload burst** — ``burst`` concurrent jobs against a 1-worker,
+      capacity-4 daemon.  Every response must arrive (zero hangs); the
+      split across ok / degraded / rejected shows admission shedding
+      fidelity first and jobs only at the capacity wall.
+    * **Cache idempotency** — the same slice job twice; the repeat must
+      be served from cache, bit-identical, and much faster.
+    """
+    import json
+    import os
+    import tempfile
+    import threading
+    import time
+
+    from ..service import AnalysisServer, ServiceClient, ServiceConfig
+
+    result = ExperimentResult(
+        experiment="service",
+        claim=(
+            "DIFT-as-a-service: worker processes scale throughput, overload "
+            "sheds fidelity then jobs (never hangs), cached repeats are "
+            "bit-identical"
+        ),
+        headers=["measurement", "value", "detail"],
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-service-exp-")
+    kinds = ("trace", "attack", "slice", "lineage")
+
+    def submit_burst(address, n, tag, cache=False, deadline_s=120.0):
+        """n concurrent one-job clients; returns (statuses, elapsed_s, hangs)."""
+        statuses: list[str] = []
+        lock = threading.Lock()
+
+        def one(i):
+            with ServiceClient(address) as client:
+                response = client.submit(
+                    kinds[i % len(kinds)],
+                    workload="hashloop",
+                    scale=scale,
+                    cache=cache,
+                    params={"tag": f"{tag}-{i}"},
+                    deadline_s=deadline_s,
+                )
+            with lock:
+                statuses.append(response.get("status", "no-response"))
+
+        threads = [threading.Thread(target=one, args=(i,), daemon=True) for i in range(n)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300.0)
+        elapsed = time.perf_counter() - t0
+        hangs = sum(1 for t in threads if t.is_alive())
+        return statuses, elapsed, hangs
+
+    # -- worker scaling -------------------------------------------------------
+    throughput = {}
+    for workers in (1, scaled_workers):
+        config = ServiceConfig(
+            socket_path=os.path.join(tmp, f"scale-{workers}.sock"),
+            workers=workers,
+            queue_capacity=max(16, 2 * jobs),
+            degrade=False,  # uniform full-fidelity work for a fair ratio
+        )
+        with AnalysisServer(config):
+            statuses, elapsed, hangs = submit_burst(
+                config.address(), jobs, tag=f"w{workers}"
+            )
+        ok = sum(1 for s in statuses if s == "ok")
+        throughput[workers] = ok / elapsed if elapsed > 0 else 0.0
+        result.rows.append(
+            [f"throughput {workers}w", f"{throughput[workers]:.2f} jobs/s",
+             f"{ok}/{jobs} ok in {elapsed:.2f}s, {hangs} hangs"]
+        )
+    scaling = throughput[scaled_workers] / max(throughput[1], 1e-9)
+    result.rows.append(
+        [f"scaling 1w->{scaled_workers}w", f"{scaling:.2f}x", ""]
+    )
+
+    # -- overload burst -------------------------------------------------------
+    config = ServiceConfig(
+        socket_path=os.path.join(tmp, "overload.sock"),
+        workers=1,
+        queue_capacity=4,
+    )
+    with AnalysisServer(config):
+        statuses, elapsed, hangs = submit_burst(config.address(), burst, tag="burst")
+    from collections import Counter
+
+    counts = Counter(statuses)
+    result.rows.append(
+        ["overload burst",
+         f"{counts.get('ok', 0)} ok / {counts.get('degraded', 0)} degraded / "
+         f"{counts.get('rejected', 0)} rejected",
+         f"{burst} jobs at capacity 4, {hangs} hangs"]
+    )
+
+    # -- cache idempotency ----------------------------------------------------
+    config = ServiceConfig(
+        socket_path=os.path.join(tmp, "cache.sock"), workers=1, queue_capacity=8
+    )
+    with AnalysisServer(config):
+        with ServiceClient(config.address()) as client:
+            t0 = time.perf_counter()
+            cold = client.submit("slice", workload="sort", scale=scale)
+            cold_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = client.submit("slice", workload="sort", scale=scale)
+            warm_s = time.perf_counter() - t0
+    canonical = lambda r: json.dumps(r.get("result"), sort_keys=True)  # noqa: E731
+    cache_identical = (
+        cold.get("status") == "ok"
+        and warm.get("status") == "ok"
+        and warm.get("cached") is True
+        and canonical(cold) == canonical(warm)
+    )
+    cache_speedup = cold_s / max(warm_s, 1e-9)
+    result.rows.append(
+        ["cache repeat", f"{cache_speedup:.0f}x faster",
+         f"cold {cold_s*1e3:.1f} ms -> warm {warm_s*1e3:.1f} ms, "
+         f"identical={cache_identical}"]
+    )
+    if hangs or not cache_identical:
+        result.notes = "SERVICE MISBEHAVED — hang or cache divergence (see rows)"
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cpus = os.cpu_count() or 1
+    result.headline = {
+        "worker_scaling": scaling,
+        "scaled_workers": float(scaled_workers),
+        "usable_cpus": float(cpus),
+        "overload_ok": float(counts.get("ok", 0)),
+        "overload_degraded": float(counts.get("degraded", 0)),
+        "overload_rejected": float(counts.get("rejected", 0)),
+        "overload_hangs": float(hangs),
+        "cache_speedup": cache_speedup,
+        "cache_identical": float(cache_identical),
+    }
+    return result
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -1065,6 +1221,7 @@ EXTRA_EXPERIMENTS = {
     "fastpath": run_fastpath,
     "slicing": run_slicing,
     "parallel": run_parallel,
+    "service": run_service,
 }
 
 

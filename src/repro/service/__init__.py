@@ -1,0 +1,80 @@
+"""DIFT-as-a-service: a sharded analysis-job daemon.
+
+PRs 1-4 made every analysis in this repo (tracing, slicing, attack
+detection, lineage) a one-shot in-process call.  This package turns
+them into a long-lived *service* — the deployment shape the paper's
+production-run ambitions (and HardTaint's always-on argument) actually
+require:
+
+* :mod:`protocol` — length-prefixed framed JSON over a Unix/TCP socket.
+* :mod:`jobs` — job specs (trace / slice / attack / lineage over a
+  named workload or submitted MiniC source), the fidelity ladder, and
+  the pure ``execute`` function worker processes run.
+* :mod:`admission` — bounded admission with backpressure: overload
+  sheds *fidelity* first (full tracing -> DIFT-only -> logging-only,
+  the paper's cheap-logging/expensive-replay split) and *jobs* only at
+  the hard capacity wall (explicit REJECTED, never a hang).
+* :mod:`cache` — idempotent result cache keyed by
+  (kind, program hash, params, fidelity); repeats are bit-identical.
+* :mod:`pool` — the sharded worker-process pool: affinity routing by
+  program hash with idle-steal, per-job deadlines with cancellation,
+  crash detection and bounded respawn/backoff with one retry.
+* :mod:`server` / :mod:`client` — the accept loop + blocking client
+  (also reachable as ``repro serve`` / ``repro submit``).
+
+Everything threads ``service.*`` telemetry through
+:class:`repro.telemetry.MetricsRegistry`; ``STATS`` and ``HEALTH``
+requests expose the same snapshot over the wire.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .cache import ResultCache
+from .client import ServiceClient, ServiceError, wait_until_ready
+from .jobs import (
+    FIDELITY_LADDER,
+    JOB_KINDS,
+    JobSpec,
+    cache_key,
+    execute_job,
+    program_key,
+    resolve_spec,
+)
+from .pool import WorkerPool
+from .protocol import (
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from .server import AnalysisServer, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AnalysisServer",
+    "FIDELITY_LADDER",
+    "JOB_KINDS",
+    "JobSpec",
+    "ProtocolError",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "STATUS_DEGRADED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
+    "WorkerPool",
+    "cache_key",
+    "execute_job",
+    "program_key",
+    "recv_frame",
+    "send_frame",
+    "resolve_spec",
+    "wait_until_ready",
+]

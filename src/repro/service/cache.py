@@ -1,0 +1,76 @@
+"""Idempotent result cache for repeated analysis queries.
+
+Execution is a pure function of the job spec (deterministic
+interpreter, no wall-clock in result payloads), so the service can
+memoize whole results by :func:`repro.service.jobs.cache_key` —
+(kind, program hash, params, *resolved* fidelity).  Values are stored
+as their canonical JSON encoding and decoded on every hit, which makes
+two guarantees structural rather than hoped-for:
+
+* **bit-identity** — a hit returns exactly the bytes the cold run
+  produced (the benchmark asserts repeat slice queries equal the cold
+  result byte for byte);
+* **isolation** — a caller mutating a returned payload can never
+  poison later hits.
+
+Bounded LRU; thread-safe (the server handles connections on threads).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+
+
+class ResultCache:
+    """LRU map of cache_key -> canonical-JSON result payload.
+
+    Hit/miss counters are incremented live on the supplied registry
+    (``service.cache.*``) so a long-running daemon's STATS responses
+    always reflect the current totals.
+    """
+
+    def __init__(self, max_entries: int = 256, registry=None):
+        if max_entries < 1:
+            raise ValueError("cache needs max_entries >= 1")
+        from ..telemetry import NULL_REGISTRY
+
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, str] = OrderedDict()
+        self._lock = threading.Lock()
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        """The cached payload (fresh decode) or None."""
+        with self._lock:
+            encoded = self._entries.get(key)
+            if encoded is None:
+                self.misses += 1
+                self._registry.counter("service.cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._registry.counter("service.cache.hits").inc()
+        return json.loads(encoded)
+
+    def put(self, key: str, payload: dict) -> None:
+        encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._entries[key] = encoded
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+__all__ = ["ResultCache"]

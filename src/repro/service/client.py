@@ -1,0 +1,170 @@
+"""Blocking client for the analysis service.
+
+One :class:`ServiceClient` wraps one socket and speaks strict
+request/response lockstep — no pipelining, so ``recv_frame`` after
+``send_frame`` is the whole conversation.  The client is deliberately
+thin: all policy (admission, degradation, deadlines) lives server-side
+and is *reported* in responses, never re-implemented here.
+
+``connect()`` accepts either a Unix socket path or a ``host:port``
+string; :func:`wait_until_ready` spins on ``health`` until the daemon
+answers, which is how the CLI, tests and CI smoke jobs synchronize
+with a freshly forked ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from .protocol import ProtocolError, recv_frame, send_frame
+
+
+class ServiceError(Exception):
+    """Client-side failure: connect, transport, or protocol trouble.
+
+    Job-level failures (rejected / timeout / error statuses) are NOT
+    raised — they come back as the response dict so callers can react
+    to backpressure programmatically.
+    """
+
+
+def _parse_address(address: str) -> tuple[str, str | tuple[str, int]]:
+    """``unix:///path``, ``tcp://host:port``, ``host:port`` or a bare path."""
+    if address.startswith("unix://"):
+        return "unix", address[len("unix://"):]
+    if address.startswith("tcp://"):
+        address = address[len("tcp://"):]
+        host, _, port = address.rpartition(":")
+        return "tcp", (host or "127.0.0.1", int(port))
+    if ":" in address and address.rsplit(":", 1)[1].isdigit() and "/" not in address:
+        host, _, port = address.rpartition(":")
+        return "tcp", (host or "127.0.0.1", int(port))
+    return "unix", address
+
+
+class ServiceClient:
+    """A blocking, lockstep client for one daemon connection."""
+
+    def __init__(self, address: str, timeout_s: float = 150.0):
+        self.address = address
+        self.timeout_s = timeout_s
+        self._sock: socket.socket | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        family, target = _parse_address(self.address)
+        try:
+            if family == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout_s)
+                sock.connect(target)
+            else:
+                sock = socket.create_connection(target, timeout=self.timeout_s)
+        except OSError as exc:
+            raise ServiceError(f"cannot connect to {self.address}: {exc}") from None
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- one round trip ------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one frame, receive one frame."""
+        if self._sock is None:
+            self.connect()
+        try:
+            send_frame(self._sock, payload)
+            response = recv_frame(self._sock)
+        except socket.timeout:
+            self.close()
+            raise ServiceError(
+                f"no response from {self.address} within {self.timeout_s}s"
+            ) from None
+        except ProtocolError as exc:
+            self.close()
+            raise ServiceError(f"protocol error: {exc}") from None
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"transport error: {exc}") from None
+        if response is None:
+            self.close()
+            raise ServiceError("server closed the connection mid-request")
+        if not isinstance(response, dict):
+            self.close()
+            raise ServiceError("server sent a non-object response")
+        return response
+
+    # -- request helpers -----------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        *,
+        workload: str | None = None,
+        scale: int = 1,
+        source: str | None = None,
+        fidelity: str | None = None,
+        params: dict | None = None,
+        cache: bool = True,
+        deadline_s: float | None = None,
+    ) -> dict:
+        """Submit one analysis job; returns the raw response dict."""
+        payload: dict = {"kind": kind, "scale": scale, "cache": cache}
+        if workload is not None:
+            payload["workload"] = workload
+        if source is not None:
+            payload["source"] = source
+        if fidelity is not None:
+            payload["fidelity"] = fidelity
+        if params:
+            payload["params"] = params
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"kind": "stats"})["stats"]
+
+    def health(self) -> dict:
+        return self.request({"kind": "health"})["health"]
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to exit after responding."""
+        return self.request({"kind": "shutdown"})
+
+
+def wait_until_ready(
+    address: str, timeout_s: float = 10.0, interval_s: float = 0.05
+) -> dict:
+    """Poll ``health`` until the daemon answers; returns the health dict.
+
+    Raises :class:`ServiceError` if the deadline passes without a
+    healthy answer (connection refused counts as "not yet up").
+    """
+    deadline = time.monotonic() + timeout_s
+    last_error = "never reached"
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(address, timeout_s=max(1.0, interval_s * 20)) as client:
+                health = client.health()
+            if health.get("ok"):
+                return health
+            last_error = f"unhealthy: {health}"
+        except ServiceError as exc:
+            last_error = str(exc)
+        time.sleep(interval_s)
+    raise ServiceError(f"service at {address} not ready after {timeout_s}s ({last_error})")
+
+
+__all__ = ["ServiceClient", "ServiceError", "wait_until_ready"]

@@ -1,0 +1,409 @@
+"""Analysis job specs, the fidelity ladder, and worker-side execution.
+
+A job names an analysis ``kind`` (trace / slice / attack / lineage)
+over a *program* — either a named workload from the SPEC-like suite or
+submitted MiniC source — plus kind-specific ``params``.  Execution is
+a pure function of the spec (the interpreter is deterministic), which
+is what makes the service's result cache idempotent: the same spec
+always produces the byte-identical result payload.
+
+**Fidelity ladder** (§2.2's cheap-logging/expensive-replay split as a
+live degradation policy): under overload the admission controller
+sheds fidelity before it sheds jobs.
+
+==========  =========================================================
+``full``    the real analysis: ONTRAC tracing, indexed slicing,
+            PC-taint attack monitoring (names the root cause), roBDD
+            lineage
+``dift``    DIFT-only: taint propagation without the trace store —
+            ``trace`` returns taint stats instead of a DDG; ``attack``
+            falls back to boolean taint (detects, cannot explain —
+            E11's ablation as a degradation step)
+``log``     logging-only: a plain run; outputs and cycle counts, no
+            dependence analysis at all
+==========  =========================================================
+
+Kinds without a meaningful middle rung skip straight to ``log``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..dift.engine import DIFTEngine, SinkRule
+from ..dift.policy import BoolTaintPolicy, PCTaintPolicy
+from ..lang import compile_source
+from ..ontrac import OntracConfig
+from ..runner import ProgramRunner
+from ..slicing import backward_slice
+from ..workloads.spec_like import bfs, fsm, hashloop, matmul, rle, sort
+from .protocol import ProtocolError
+
+JOB_KINDS = ("trace", "slice", "attack", "lineage")
+
+FIDELITY_FULL = "full"
+FIDELITY_DIFT = "dift"
+FIDELITY_LOG = "log"
+
+#: per-kind degradation ladder, most expensive first.
+FIDELITY_LADDER: dict[str, tuple[str, ...]] = {
+    "trace": (FIDELITY_FULL, FIDELITY_DIFT, FIDELITY_LOG),
+    "slice": (FIDELITY_FULL, FIDELITY_LOG),
+    "attack": (FIDELITY_FULL, FIDELITY_DIFT, FIDELITY_LOG),
+    "lineage": (FIDELITY_FULL, FIDELITY_LOG),
+}
+
+#: named programs submittable by name; multipliers match ``suite(scale)``.
+WORKLOAD_FACTORIES = {
+    "matmul": lambda s: matmul(8 * s),
+    "sort": lambda s: sort(48 * s),
+    "hashloop": lambda s: hashloop(96 * s),
+    "rle": lambda s: rle(80 * s),
+    "bfs": lambda s: bfs(6 * s),
+    "fsm": lambda s: fsm(120 * s),
+}
+
+#: test-only kind that crashes/misbehaves inside the worker process so
+#: the pool's crash-recovery machinery can be exercised deterministically.
+#: Only admitted when the server was started with ``allow_chaos=True``.
+CHAOS_KIND = "chaos"
+
+
+@dataclass
+class JobSpec:
+    """One validated analysis job."""
+
+    kind: str
+    fidelity: str = FIDELITY_FULL
+    workload: str | None = None
+    scale: int = 1
+    source: str | None = None
+    params: dict = field(default_factory=dict)
+    cache: bool = True
+    deadline_s: float | None = None
+
+    def payload(self) -> dict:
+        """The wire/worker form (plain JSON-safe dict)."""
+        return {
+            "kind": self.kind,
+            "fidelity": self.fidelity,
+            "workload": self.workload,
+            "scale": self.scale,
+            "source": self.source,
+            "params": self.params,
+        }
+
+
+def resolve_spec(payload: dict, allow_chaos: bool = False) -> JobSpec:
+    """Validate a request payload into a :class:`JobSpec`.
+
+    Raises :class:`ProtocolError` with a one-line message on anything
+    malformed — the server turns that into a clean ``error`` response.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    kind = payload.get("kind")
+    if kind == CHAOS_KIND:
+        if not allow_chaos:
+            raise ProtocolError("chaos jobs are not enabled on this server")
+    elif kind not in JOB_KINDS:
+        raise ProtocolError(f"unknown job kind {kind!r} (expected one of {JOB_KINDS})")
+    fidelity = payload.get("fidelity", FIDELITY_FULL)
+    ladder = FIDELITY_LADDER.get(kind, (FIDELITY_FULL,))
+    if kind != CHAOS_KIND and fidelity not in ladder:
+        raise ProtocolError(f"kind {kind!r} has no fidelity {fidelity!r} (ladder {ladder})")
+    workload = payload.get("workload")
+    source = payload.get("source")
+    if kind != CHAOS_KIND:
+        if (workload is None) == (source is None):
+            raise ProtocolError("exactly one of 'workload' or 'source' is required")
+        if workload is not None and workload not in WORKLOAD_FACTORIES:
+            raise ProtocolError(
+                f"unknown workload {workload!r} "
+                f"(available: {', '.join(sorted(WORKLOAD_FACTORIES))})"
+            )
+    scale = payload.get("scale", 1)
+    if not isinstance(scale, int) or scale < 1:
+        raise ProtocolError("'scale' must be a positive integer")
+    params = payload.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    deadline = payload.get("deadline_s")
+    if deadline is not None and (not isinstance(deadline, (int, float)) or deadline <= 0):
+        raise ProtocolError("'deadline_s' must be a positive number")
+    return JobSpec(
+        kind=kind,
+        fidelity=fidelity,
+        workload=workload,
+        scale=scale,
+        source=source,
+        params=params,
+        cache=bool(payload.get("cache", True)),
+        deadline_s=deadline,
+    )
+
+
+def program_key(spec: JobSpec) -> str:
+    """Stable identity of the program a spec runs (for cache/sharding)."""
+    if spec.source is not None:
+        digest = hashlib.sha256(spec.source.encode("utf-8")).hexdigest()[:16]
+        return f"src:{digest}"
+    return f"workload:{spec.workload}:{spec.scale}"
+
+
+def cache_key(spec: JobSpec) -> str:
+    """Idempotency key: (kind, program hash, params, fidelity).
+
+    The *resolved* fidelity is part of the key, so a degraded result
+    can never be served to a client that asked for (and got) ``full``.
+    """
+    params = json.dumps(spec.params, sort_keys=True, separators=(",", ":"))
+    return f"{spec.kind}|{program_key(spec)}|{spec.fidelity}|{params}"
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+def _inputs_from(params: dict, default: dict | None = None) -> dict[int, list[int]]:
+    raw = params.get("inputs")
+    if raw is None:
+        return {int(k): list(v) for k, v in (default or {}).items()}
+    if not isinstance(raw, dict):
+        raise ProtocolError("'params.inputs' must map channel -> value list")
+    return {int(k): [int(v) for v in vs] for k, vs in raw.items()}
+
+
+def _resolve_program(spec_kind: str, payload: dict):
+    """(compiled, source_text, inputs) for one worker-form payload."""
+    params = payload.get("params") or {}
+    if payload.get("source") is not None:
+        source = payload["source"]
+        compiled = compile_source(source)
+        return compiled, source, _inputs_from(params)
+    workload = WORKLOAD_FACTORIES[payload["workload"]](payload.get("scale", 1))
+    return workload.compiled, None, _inputs_from(params, workload.inputs)
+
+
+def _run_summary(result, machine) -> dict:
+    return {
+        "status": result.status.value,
+        "failure": str(result.failure) if result.failure else None,
+        "instructions": result.instructions,
+        "total_cycles": result.cycles.total,
+        "outputs": {
+            str(ch): list(machine.io.output(ch)) for ch in sorted(machine.io.outputs)
+        },
+    }
+
+
+def _execute_log(payload: dict) -> dict:
+    compiled, _, inputs = _resolve_program(payload["kind"], payload)
+    runner = ProgramRunner(compiled.program, inputs=inputs)
+    machine, result = runner.run()
+    return {"run": _run_summary(result, machine)}
+
+
+def _execute_dift_stats(payload: dict) -> dict:
+    """DIFT-only middle rung for ``trace``: taint stats, no trace store."""
+    compiled, _, inputs = _resolve_program(payload["kind"], payload)
+    runner = ProgramRunner(compiled.program, inputs=inputs)
+    machine = runner.machine()
+    engine = DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(machine)
+    result = machine.run(max_instructions=runner.max_instructions)
+    return {
+        "run": _run_summary(result, machine),
+        "dift": {
+            "instructions": engine.stats.instructions,
+            "tainted_instructions": engine.stats.tainted_instructions,
+            "taint_rate": engine.stats.taint_rate,
+            "tainted_locations": engine.shadow.tainted_cells + engine.shadow.tainted_regs,
+        },
+    }
+
+
+def _execute_trace(payload: dict) -> dict:
+    compiled, _, inputs = _resolve_program("trace", payload)
+    params = payload.get("params") or {}
+    runner = ProgramRunner(compiled.program, inputs=inputs)
+    config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
+    machine, tracer, result = runner.run_traced(config)
+    stats = tracer.stats
+    return {
+        "run": _run_summary(result, machine),
+        "trace": {
+            "instructions": stats.instructions,
+            "stored_bytes": stats.stored_bytes,
+            "bytes_per_instruction": stats.bytes_per_instruction,
+            "window_instructions": tracer.buffer.window_instructions(),
+            "ddg": tracer.dependence_graph().stats(),
+        },
+    }
+
+
+def _execute_slice(payload: dict) -> dict:
+    compiled, _, inputs = _resolve_program("slice", payload)
+    params = payload.get("params") or {}
+    runner = ProgramRunner(compiled.program, inputs=inputs)
+    config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
+    _, tracer, result = runner.run_traced(config)
+    ddg = tracer.dependence_graph()
+    line = params.get("line")
+    criterion = None
+    if line is not None:
+        pcs = compiled.pcs_of_line(int(line))
+        if not pcs:
+            raise ProtocolError(f"no code generated for line {line}")
+        for pc in sorted(pcs, reverse=True):
+            criterion = ddg.last_instance_of_pc(pc)
+            if criterion is not None:
+                break
+        if criterion is None:
+            raise ProtocolError(f"line {line} never executed in the window")
+    else:
+        # default criterion: the last dynamic instance in the window.
+        seqs = [s for s, _ in ddg.node_items()]
+        if not seqs:
+            raise ProtocolError("empty trace window: nothing to slice")
+        criterion = max(seqs)
+    sl = backward_slice(ddg, criterion)
+    # Repeated criteria over one window are the service's hot query
+    # pattern; queries here run per-job, while *cross*-job reuse is the
+    # server-side result cache's business.
+    return {
+        "run": {"status": result.status.value, "instructions": result.instructions},
+        "slice": {
+            "criterion_seq": criterion,
+            "instances": len(sl.seqs),
+            "pcs": sorted(sl.pcs),
+            "lines": sorted(sl.statement_lines(compiled)),
+            "truncated": sl.truncated,
+        },
+    }
+
+
+def _execute_attack(payload: dict, fidelity: str) -> dict:
+    compiled, source, inputs = _resolve_program("attack", payload)
+    params = payload.get("params") or {}
+    runner = ProgramRunner(compiled.program, inputs=inputs)
+    machine = runner.machine()
+    # full = PC taint (detects *and* names the root cause); the dift
+    # rung is boolean taint — detection without explanation (E11).
+    policy = PCTaintPolicy() if fidelity == FIDELITY_FULL else BoolTaintPolicy()
+    sinks = [SinkRule(kind="icall")]
+    if params.get("out_sink"):
+        sinks.append(SinkRule(kind="out", channels=None))
+    engine = DIFTEngine(policy, sinks=sinks).attach(machine)
+    result = machine.run(max_instructions=runner.max_instructions)
+    alerts = []
+    for alert in engine.alerts:
+        entry = {"seq": alert.seq, "pc": alert.pc, "message": str(alert)}
+        if fidelity == FIDELITY_FULL:
+            line = compiled.line_of(alert.label) if isinstance(alert.label, int) else 0
+            entry["root_cause_line"] = line
+        alerts.append(entry)
+    return {
+        "run": _run_summary(result, machine),
+        "attack": {
+            "policy": "pc" if fidelity == FIDELITY_FULL else "bool",
+            "detected": bool(alerts),
+            "alerts": alerts,
+        },
+    }
+
+
+def _execute_lineage(payload: dict) -> dict:
+    from ..apps.lineage import LineageTracer
+
+    compiled, _, inputs = _resolve_program("lineage", payload)
+    params = payload.get("params") or {}
+    runner = ProgramRunner(compiled.program, inputs=inputs)
+    tracer = LineageTracer(representation=params.get("representation", "robdd"))
+    trace = tracer.trace(runner, output_channel=int(params.get("channel", 1)))
+    return {
+        "run": {
+            "status": trace.result.status.value,
+            "instructions": trace.result.instructions,
+        },
+        "lineage": {
+            "representation": trace.store_name,
+            "outputs": [
+                {
+                    "position": o.position,
+                    "channel": o.channel,
+                    "value": o.value,
+                    "inputs": sorted(o.inputs),
+                }
+                for o in trace.outputs
+            ],
+            "union_cycles": trace.union_cycles,
+        },
+    }
+
+
+def _execute_chaos(payload: dict) -> dict:
+    """Deterministic worker misbehavior for the crash-recovery tests."""
+    params = payload.get("params") or {}
+    mode = params.get("mode", "exit")
+    if mode == "exit":
+        os._exit(17)
+    if mode == "exit-once":
+        # Crash on the first attempt only: the flag file records that
+        # this spec already died once, so the retried attempt succeeds.
+        flag = params["flag"]
+        if not os.path.exists(flag):
+            with open(flag, "w") as fh:
+                fh.write("crashed\n")
+            os._exit(17)
+        return {"chaos": {"mode": mode, "survived_retry": True}}
+    if mode == "hang":
+        import time
+
+        time.sleep(float(params.get("sleep_s", 3600.0)))
+        return {"chaos": {"mode": mode}}
+    raise ProtocolError(f"unknown chaos mode {mode!r}")
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one worker-form job payload to completion (pure, in-process).
+
+    Returns the JSON-safe result envelope.  Raises
+    :class:`ProtocolError` for spec-level problems and lets
+    :class:`~repro.lang.CompileError` escape as itself (the pool turns
+    both into clean ``error`` responses).
+    """
+    kind = payload["kind"]
+    fidelity = payload.get("fidelity", FIDELITY_FULL)
+    if kind == CHAOS_KIND:
+        body = _execute_chaos(payload)
+    elif fidelity == FIDELITY_LOG:
+        body = _execute_log(payload)
+    elif kind == "trace":
+        body = _execute_dift_stats(payload) if fidelity == FIDELITY_DIFT else _execute_trace(payload)
+    elif kind == "slice":
+        body = _execute_slice(payload)
+    elif kind == "attack":
+        body = _execute_attack(payload, fidelity)
+    elif kind == "lineage":
+        body = _execute_lineage(payload)
+    else:  # pragma: no cover - resolve_spec guards this
+        raise ProtocolError(f"unknown job kind {kind!r}")
+    return {"kind": kind, "fidelity": fidelity, **body}
+
+
+__all__ = [
+    "CHAOS_KIND",
+    "FIDELITY_DIFT",
+    "FIDELITY_FULL",
+    "FIDELITY_LADDER",
+    "FIDELITY_LOG",
+    "JOB_KINDS",
+    "JobSpec",
+    "WORKLOAD_FACTORIES",
+    "cache_key",
+    "execute_job",
+    "program_key",
+    "resolve_spec",
+]

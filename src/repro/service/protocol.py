@@ -1,0 +1,176 @@
+"""Wire protocol: length-prefixed JSON frames over a stream socket.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are both single frames; a
+connection carries any number of request/response pairs in lockstep
+(the client never pipelines), so framing is the only state.
+
+JSON (rather than pickle) keeps the daemon safe to expose on a TCP
+port: a malicious peer can at worst submit a weird job, never execute
+code in the server process.  Frame size is capped so a corrupt or
+hostile length prefix cannot make the server allocate unbounded
+memory.
+
+Response ``status`` values:
+
+==============  =====================================================
+``ok``          job ran at the requested fidelity; ``result`` attached
+``degraded``    job ran, but admission shed fidelity first (overload);
+                ``fidelity`` names the level that actually ran
+``rejected``    admission refused the job (queue at capacity) —
+                explicit backpressure, never a hang
+``timeout``     the per-job deadline expired; the worker was cancelled
+``error``       the job failed (bad spec, compile error, worker crash
+                after retry); ``error`` holds a one-line message
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: frame header: one u32 (big-endian) payload length.
+_LEN = struct.Struct(">I")
+
+#: hard ceiling on one frame's payload (16 MiB is far beyond any job).
+MAX_FRAME_BYTES = 16 << 20
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_REJECTED = "rejected"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+#: statuses that carry a ``result`` payload.
+RESULT_STATUSES = (STATUS_OK, STATUS_DEGRADED)
+
+
+class ProtocolError(Exception):
+    """Malformed frame or request payload."""
+
+
+def encode(obj) -> bytes:
+    """One canonical frame for ``obj`` (sorted keys: byte-stable)."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES")
+    return _LEN.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, obj) -> None:
+    sock.sendall(encode(obj))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket):
+    """Read one frame; returns the decoded object, or None on clean EOF."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+
+
+#: FrameReader.poll verdicts.
+FRAME = "frame"
+PENDING = "pending"
+EOF = "eof"
+
+
+class FrameReader:
+    """Incremental frame reader that survives read timeouts.
+
+    The server polls client sockets with a short timeout so handler
+    threads can notice shutdown; a plain blocking ``recv_frame`` would
+    lose already-consumed bytes when that timeout fires mid-frame.
+    This reader buffers partial frames across polls instead.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buf = bytearray()
+
+    def poll(self, timeout_s: float):
+        """Try to read one frame; returns (FRAME, obj) | (PENDING, None)
+        | (EOF, None).  Raises ProtocolError on malformed input."""
+        frame = self._extract()
+        if frame is not None:
+            return FRAME, frame
+        self._sock.settimeout(timeout_s)
+        try:
+            chunk = self._sock.recv(1 << 16)
+        except socket.timeout:
+            return PENDING, None
+        finally:
+            self._sock.settimeout(None)
+        if not chunk:
+            if self._buf:
+                raise ProtocolError("connection closed mid-frame")
+            return EOF, None
+        self._buf.extend(chunk)
+        frame = self._extract()
+        if frame is None:
+            return PENDING, None
+        return FRAME, frame
+
+    def _extract(self):
+        buf = self._buf
+        if len(buf) < _LEN.size:
+            return None
+        (length,) = _LEN.unpack(bytes(buf[: _LEN.size]))
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+            )
+        end = _LEN.size + length
+        if len(buf) < end:
+            return None
+        payload = bytes(buf[_LEN.size : end])
+        del buf[:end]
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable frame: {exc}") from None
+
+
+__all__ = [
+    "EOF",
+    "FRAME",
+    "FrameReader",
+    "MAX_FRAME_BYTES",
+    "PENDING",
+    "ProtocolError",
+    "RESULT_STATUSES",
+    "STATUS_DEGRADED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
+    "encode",
+    "recv_frame",
+    "send_frame",
+]

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from .metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_S,
     NULL_REGISTRY,
     Counter,
     Gauge,
@@ -62,6 +63,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_S",
     "NULL_REGISTRY",
     "Span",
     "SpanTracer",

@@ -119,6 +119,12 @@ _NULL_HISTOGRAM = _NullHistogram("null", (1.0,))
 #: Default bucket ladder (powers of four) for size/length distributions.
 DEFAULT_BUCKETS: tuple[float, ...] = (1, 4, 16, 64, 256, 1024, 4096, 16384)
 
+#: Bucket ladder for host-side latencies in seconds (sub-millisecond up
+#: to a minute) — used by the analysis service's per-stage spans.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0,
+)
+
 
 class MetricsRegistry:
     """Namespace of instruments, keyed by dotted metric name.

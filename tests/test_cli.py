@@ -140,6 +140,105 @@ class TestCommands:
         assert "E7" in out and "verifications" in out
 
 
+class TestErrorHandling:
+    """Bad arguments exit non-zero with a one-line message, never a traceback."""
+
+    def test_bad_input_value_is_one_line_error(self, demo, capsys):
+        assert main(["run", demo, "--input", "0=abc"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_input_channel_is_one_line_error(self, demo, capsys):
+        assert main(["trace", demo, "--input", "ch=1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unknown_experiment_is_one_line_error(self, capsys):
+        assert main(["experiments", "E1", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert err == "error: unknown experiment bogus\n"
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+
+
+class TestServiceVerbs:
+    def test_serve_needs_exactly_one_transport(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["serve", "--socket", "/tmp/x.sock", "--port", "1"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_submit_needs_exactly_one_program(self, capsys):
+        assert main(["submit", "trace", "--connect", "/tmp/x.sock"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_submit_rejects_bad_params_json(self, capsys):
+        code = main(["submit", "trace", "--connect", "/tmp/x.sock",
+                     "--workload", "matmul", "--params", "{not json"])
+        assert code == 2
+        assert "--params" in capsys.readouterr().err
+
+    def test_submit_connect_failure_is_one_line_error(self, tmp_path, capsys):
+        code = main(["submit", "health",
+                     "--connect", str(tmp_path / "nothing.sock")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot connect")
+
+    def test_serve_submit_roundtrip(self, tmp_path, capsys):
+        """In-process daemon + CLI submit: the CI smoke job's core path."""
+        import json
+
+        from repro.service import AnalysisServer, ServiceConfig
+
+        config = ServiceConfig(socket_path=str(tmp_path / "cli.sock"), workers=1)
+        with AnalysisServer(config):
+            code = main(["submit", "trace", "--connect", config.address(),
+                         "--workload", "matmul", "--fidelity", "log"])
+            out = capsys.readouterr().out
+        assert code == 0
+        response = json.loads(out)
+        assert response["status"] == "ok"
+        assert response["result"]["fidelity"] == "log"
+
+
+class TestEntryPoint:
+    def test_console_script_points_at_cli_main(self):
+        import tomllib
+        from pathlib import Path
+
+        import repro.cli
+
+        pyproject = Path(repro.cli.__file__).parents[2] / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text())
+        target = data["project"]["scripts"]["repro"]
+        module_name, _, attr = target.partition(":")
+        assert module_name == "repro.cli"
+        assert getattr(repro.cli, attr) is main
+
+    def test_python_m_repro_smoke(self):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(main.__code__.co_filename).parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0
+        for verb in ("run", "trace", "slice", "attack", "serve", "submit"):
+            assert verb in proc.stdout
+
+
 class TestTelemetryOutputs:
     def test_run_report_matches_stdout_totals(self, demo, tmp_path, capsys):
         import json

@@ -17,6 +17,14 @@ subsystem promises:
 * **Cache idempotency** — a repeated slice job must be served from
   cache, byte-identical to the cold result, and >=5x faster.
 
+The overload daemon also reports its latency SLO (p50/p95/p99 from the
+``service.latency.total_s`` histogram plus shed rate) — the same
+numbers a production ``repro stats`` scrape derives.  The experiment
+runs with observability at its default; the obs layer must not change
+the shedding outcome (with ``REPRO_SERVICE_OBSERVE=0`` the same gates
+hold — the hooks are no-op attribute loads off the hot path, and only
+explicitly traced jobs ship spans).
+
 The merged result lands in ``BENCH_service.json``.
 """
 
@@ -43,6 +51,15 @@ def test_service(benchmark):
     assert answered == 10.0
     # Overload at 2.5x capacity must actually shed something.
     assert result.headline["overload_degraded"] + result.headline["overload_rejected"] > 0
+
+    # The SLO rollup must be derivable from the daemon's own histogram:
+    # completed jobs imply a real latency distribution, and the shed
+    # rate must agree with the response counts above.
+    assert result.headline["slo_p50_ms"] > 0.0
+    assert result.headline["slo_p50_ms"] <= result.headline["slo_p95_ms"]
+    assert result.headline["slo_p95_ms"] <= result.headline["slo_p99_ms"]
+    # shed rate counts fidelity shedding (degraded), not capacity rejects
+    assert result.headline["shed_rate"] == result.headline["overload_degraded"] / 10.0
 
     # Cached repeats: bit-identical and >=5x faster than the cold run.
     assert result.headline["cache_identical"] == 1.0

@@ -12,6 +12,9 @@ Commands:
 * ``serve``             — run the analysis service daemon
 * ``submit KIND``       — submit one job (or stats/health/shutdown) to a
   running daemon and print the JSON response
+* ``stats``             — scrape a running daemon's live metrics
+  (Prometheus text by default, ``--json`` for the snapshot series,
+  ``--dump`` to force a flight-recorder artifact)
 
 Inputs are passed as ``--input CH=V1,V2,...`` (repeatable).
 """
@@ -267,6 +270,9 @@ def cmd_serve(args) -> int:
         cache_entries=args.cache_entries,
         degrade=False if args.no_degrade else None,
         allow_chaos=args.allow_chaos,
+        observe=False if args.no_observe else None,
+        obs_dir=args.obs_dir,
+        sample_interval_s=args.sample_interval,
     )
     server = AnalysisServer(config)
     server.start()
@@ -313,6 +319,20 @@ def cmd_submit(args) -> int:
                 response = client.request({"kind": args.kind})
             elif args.kind == "shutdown":
                 response = client.shutdown()
+            elif args.trace:
+                response, _ = client.submit_traced(
+                    args.kind,
+                    trace_path=args.trace,
+                    workload=args.workload,
+                    scale=args.scale,
+                    source=source,
+                    fidelity=args.fidelity,
+                    params=params or None,
+                    cache=not args.no_cache,
+                    deadline_s=args.deadline,
+                )
+                print(f"chrome trace written to {args.trace} (open in Perfetto)",
+                      file=sys.stderr)
             else:
                 response = client.submit(
                     args.kind,
@@ -335,6 +355,32 @@ def cmd_submit(args) -> int:
     if status == STATUS_REJECTED:
         return 3  # backpressure: distinct from job failure for scripts
     return 1
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.connect, timeout_s=args.timeout) as client:
+            metrics = client.metrics(dump=args.dump)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(metrics, sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(metrics.get("prometheus") or "")
+    summary = metrics.get("summary") or {}
+    if summary:
+        line = " ".join(f"{k}={v}" for k, v in summary.items())
+        print(f"summary: {line}", file=sys.stderr)
+    if args.dump:
+        print(f"flight recorder dumped to {metrics.get('dump_path')}",
+              file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -423,6 +469,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(jobs run full or get REJECTED)")
     p_serve.add_argument("--allow-chaos", action="store_true",
                          help="admit test-only chaos jobs (crash/hang injection)")
+    p_serve.add_argument("--no-observe", action="store_true",
+                         help="disable observability (tracing, flight "
+                              "recorder, metrics sampler)")
+    p_serve.add_argument("--obs-dir", metavar="DIR", default=None,
+                         help="directory for flight-recorder dump artifacts "
+                              "(default: current directory)")
+    p_serve.add_argument("--sample-interval", type=float, default=1.0,
+                         metavar="S",
+                         help="metrics time-series sampling period in "
+                              "seconds (default: 1.0)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -450,7 +506,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-job deadline in seconds")
     p_submit.add_argument("--timeout", type=float, default=150.0, metavar="S",
                           help="client-side response timeout")
+    p_submit.add_argument("--trace", metavar="PATH",
+                          help="trace the job end to end and write the merged "
+                               "client+server+worker Chrome trace to PATH")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_stats = sub.add_parser(
+        "stats", help="scrape a running daemon's live metrics exposition"
+    )
+    p_stats.add_argument("--connect", required=True, metavar="ADDR",
+                         help="unix:///path, tcp://host:port, or a socket path")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the JSON snapshot (registry, summary, "
+                              "sample series) instead of Prometheus text")
+    p_stats.add_argument("--dump", action="store_true",
+                         help="also dump the flight recorder to an artifact")
+    p_stats.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                         help="client-side response timeout")
+    p_stats.set_defaults(func=cmd_stats)
     return parser
 
 

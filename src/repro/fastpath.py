@@ -160,6 +160,22 @@ def service_degrade_enabled(explicit: bool | None = None) -> bool:
     return _env_bool("REPRO_SERVICE_DEGRADE", True)
 
 
+def service_observe_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the analysis service's observability switch.
+
+    When on (the default), a daemon keeps a flight-recorder ring and a
+    metrics sampler running, and honors per-job ``trace`` requests with
+    wall-clock spans.  All of it is job-granular host-side bookkeeping —
+    nothing touches the modeled cycle counters or the per-record hot
+    loops — so like ``service_degrade_enabled`` above it is an
+    operational policy, not a bit-identity lever: an explicit argument
+    wins, otherwise ``REPRO_SERVICE_OBSERVE`` decides (default on).
+    """
+    if explicit is not None:
+        return explicit
+    return _env_bool("REPRO_SERVICE_OBSERVE", True)
+
+
 _current: FastPathConfig | None = None
 
 
@@ -221,4 +237,5 @@ __all__ = [
     "resolve",
     "resolve_config",
     "service_degrade_enabled",
+    "service_observe_enabled",
 ]

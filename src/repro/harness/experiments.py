@@ -1071,6 +1071,7 @@ def run_service(
     import time
 
     from ..service import AnalysisServer, ServiceClient, ServiceConfig
+    from ..telemetry.obs import latency_summary
 
     result = ExperimentResult(
         experiment="service",
@@ -1142,8 +1143,9 @@ def run_service(
         workers=1,
         queue_capacity=4,
     )
-    with AnalysisServer(config):
+    with AnalysisServer(config) as server:
         statuses, elapsed, hangs = submit_burst(config.address(), burst, tag="burst")
+        slo = latency_summary(server.registry)
     from collections import Counter
 
     counts = Counter(statuses)
@@ -1152,6 +1154,15 @@ def run_service(
          f"{counts.get('ok', 0)} ok / {counts.get('degraded', 0)} degraded / "
          f"{counts.get('rejected', 0)} rejected",
          f"{burst} jobs at capacity 4, {hangs} hangs"]
+    )
+    p50 = slo.get("p50_ms") or 0.0
+    p95 = slo.get("p95_ms") or 0.0
+    p99 = slo.get("p99_ms") or 0.0
+    result.rows.append(
+        ["overload SLO",
+         f"p50 {p50:.0f} ms / p95 {p95:.0f} ms / p99 {p99:.0f} ms",
+         f"shed rate {slo.get('shed_rate', 0.0):.2f} "
+         f"({int(slo.get('jobs_received', 0))} received)"]
     )
 
     # -- cache idempotency ----------------------------------------------------
@@ -1194,6 +1205,10 @@ def run_service(
         "overload_degraded": float(counts.get("degraded", 0)),
         "overload_rejected": float(counts.get("rejected", 0)),
         "overload_hangs": float(hangs),
+        "slo_p50_ms": p50,
+        "slo_p95_ms": p95,
+        "slo_p99_ms": p99,
+        "shed_rate": float(slo.get("shed_rate", 0.0)),
         "cache_speedup": cache_speedup,
         "cache_identical": float(cache_identical),
     }

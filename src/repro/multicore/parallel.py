@@ -56,6 +56,7 @@ from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 
 from .. import fastpath
+from ..telemetry.obs import wall_now_us
 from ..dift.engine import DIFTEngine, DIFTStats, SinkRule, TaintAlert
 from ..dift.policy import TaintPolicy
 from ..dift.shadow import ShadowState
@@ -91,6 +92,12 @@ _DONE = 16
 #: how long (s) the producer sleeps when the ring is full / empty.
 _POLL_S = 0.00002
 
+#: worker busy-burst spans: coalesce bursts closer than this gap (µs)
+#: and never ship more than this many — the side pipe carries a coarse,
+#: bounded summary, not a per-chunk firehose.
+_SPAN_GAP_US = 2_000
+_MAX_WORKER_SPANS = 256
+
 _CTX = multiprocessing.get_context(
     "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 )
@@ -122,6 +129,10 @@ class ParallelReport:
     worker_wall_s: float  # worker: process loop lifetime
     attack: str | None = None  # AttackDetected message, if one fired
     culprit_pc: int = -1
+    #: coarse worker-side spans (wall-epoch-µs event dicts) shipped
+    #: back over the side pipe: one whole-lifetime "helper.worker" span
+    #: plus coalesced "helper.busy" bursts (see _SPAN_GAP_US).
+    spans: list = None
 
     @property
     def worker_utilization(self) -> float:
@@ -163,6 +174,9 @@ def _worker_main(
     busy = 0.0
     rpos = 0
     started = time.perf_counter()
+    started_us = wall_now_us()
+    #: coalesced busy bursts as [start_us, end_us] pairs (bounded).
+    bursts: list[list[int]] = []
     iter_unpack = RECORD.iter_unpack
     perf_counter = time.perf_counter
     on_instruction = engine.on_instruction
@@ -243,8 +257,34 @@ def _worker_main(
                 # and alerts freeze exactly where the raise happened.
                 attack = str(exc)
                 culprit = exc.culprit_pc
-            busy += perf_counter() - t0
+            t1 = perf_counter()
+            busy += t1 - t0
+            s_us = started_us + int((t0 - started) * 1e6)
+            e_us = started_us + int((t1 - started) * 1e6)
+            if bursts and (
+                s_us - bursts[-1][1] <= _SPAN_GAP_US
+                or len(bursts) >= _MAX_WORKER_SPANS
+            ):
+                bursts[-1][1] = e_us
+            else:
+                bursts.append([s_us, e_us])
         shadow = engine.shadow
+        # perf_counter-derived burst ends can skew a few µs past the
+        # wall clock; stretch the lifetime span so bursts always nest.
+        ended_us = wall_now_us()
+        if bursts:
+            ended_us = max(ended_us, bursts[-1][1])
+        spans = [
+            {
+                "name": "helper.worker",
+                "ts": started_us,
+                "dur": ended_us - started_us,
+                "args": {"busy_s": round(busy, 6)},
+            }
+        ] + [
+            {"name": "helper.busy", "ts": s, "dur": e - s, "args": {}}
+            for s, e in bursts
+        ]
         conn.send(
             {
                 "stats": stats,
@@ -257,6 +297,7 @@ def _worker_main(
                 "culprit_pc": culprit,
                 "busy_s": busy,
                 "wall_s": time.perf_counter() - started,
+                "spans": spans,
             }
         )
     finally:
@@ -563,6 +604,7 @@ class ParallelHelperDIFT(Hook):
             worker_wall_s=payload["wall_s"],
             attack=payload["attack"],
             culprit_pc=payload["culprit_pc"],
+            spans=payload.get("spans") or [],
         )
         return self._report
 
@@ -603,6 +645,22 @@ class ParallelHelperDIFT(Hook):
 
     def report(self) -> ParallelReport:
         return self.finish()
+
+    def publish_spans(self, tracer) -> int:
+        """Emit the worker's spans into a wall-clock tracer.
+
+        ``tracer`` is anything with the
+        :meth:`~repro.telemetry.obs.WallSpanTracer.span_at` retroactive
+        interface; returns the number of spans emitted (0 for tracers
+        without it, e.g. the engine's cycle-clock ``SpanTracer``).
+        """
+        rep = self.finish()
+        span_at = getattr(tracer, "span_at", None)
+        if span_at is None or not rep.spans:
+            return 0
+        for s in rep.spans:
+            span_at(s["name"], s["ts"], s["dur"], cat="helper", **(s.get("args") or {}))
+        return len(rep.spans)
 
     def publish_telemetry(self, registry) -> None:
         """Dump channel + propagation metrics into a registry (the

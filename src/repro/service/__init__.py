@@ -36,9 +36,11 @@ from .jobs import (
     JobSpec,
     cache_key,
     execute_job,
+    execute_job_traced,
     program_key,
     resolve_spec,
 )
+from .observe import NULL_OBSERVABILITY, ServiceObservability
 from .pool import WorkerPool
 from .protocol import (
     STATUS_DEGRADED,
@@ -59,8 +61,10 @@ __all__ = [
     "FIDELITY_LADDER",
     "JOB_KINDS",
     "JobSpec",
+    "NULL_OBSERVABILITY",
     "ProtocolError",
     "ResultCache",
+    "ServiceObservability",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
@@ -72,6 +76,7 @@ __all__ = [
     "WorkerPool",
     "cache_key",
     "execute_job",
+    "execute_job_traced",
     "program_key",
     "recv_frame",
     "send_frame",

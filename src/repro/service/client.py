@@ -14,9 +14,12 @@ with a freshly forked ``repro serve``.
 
 from __future__ import annotations
 
+import json
+import os
 import socket
 import time
 
+from ..telemetry.obs import chrome_trace, new_trace_id, span_event, wall_now_us
 from .protocol import ProtocolError, recv_frame, send_frame
 
 
@@ -118,8 +121,17 @@ class ServiceClient:
         params: dict | None = None,
         cache: bool = True,
         deadline_s: float | None = None,
+        trace: bool = False,
+        trace_id: str | None = None,
     ) -> dict:
-        """Submit one analysis job; returns the raw response dict."""
+        """Submit one analysis job; returns the raw response dict.
+
+        ``trace=True`` asks the daemon to span-trace this job end to
+        end; the response then carries ``trace.events`` (server +
+        worker spans sharing ``trace.trace_id``).  Trace keys are
+        transport metadata — they never reach the job spec or its
+        cache key.
+        """
         payload: dict = {"kind": kind, "scale": scale, "cache": cache}
         if workload is not None:
             payload["workload"] = workload
@@ -131,10 +143,47 @@ class ServiceClient:
             payload["params"] = params
         if deadline_s is not None:
             payload["deadline_s"] = deadline_s
+        if trace:
+            payload["trace"] = True
+            payload["trace_id"] = trace_id or new_trace_id()
         return self.request(payload)
+
+    def submit_traced(self, kind: str, *, trace_path=None, **kwargs) -> tuple[dict, dict]:
+        """Submit with tracing on; returns ``(response, chrome_trace)``.
+
+        The client mints the trace id, times its own ``client.request``
+        span around the round trip, and merges it with the server's and
+        worker's spans from the response into one Chrome trace object
+        (written to ``trace_path`` when given) — the single file whose
+        lanes are the client process, the daemon and the worker process,
+        all on the shared wall-epoch-µs timeline.
+        """
+        trace_id = new_trace_id()
+        t0 = wall_now_us()
+        response = self.submit(kind, trace=True, trace_id=trace_id, **kwargs)
+        dur = wall_now_us() - t0
+        events = list((response.get("trace") or {}).get("events") or [])
+        events.append(
+            span_event(
+                "client.request", t0, dur, pid=os.getpid(), tid=0,
+                trace_id=trace_id, kind=kind,
+            )
+        )
+        trace = chrome_trace(events)
+        if trace_path is not None:
+            with open(trace_path, "w") as fh:
+                json.dump(trace, fh, indent=1)
+        return response, trace
 
     def stats(self) -> dict:
         return self.request({"kind": "stats"})["stats"]
+
+    def metrics(self, dump: bool = False) -> dict:
+        """The daemon's live metrics exposition (see ``repro stats``)."""
+        request: dict = {"kind": "metrics"}
+        if dump:
+            request["dump"] = True
+        return self.request(request)["metrics"]
 
     def health(self) -> dict:
         return self.request({"kind": "health"})["health"]

@@ -199,17 +199,17 @@ def _run_summary(result, machine) -> dict:
     }
 
 
-def _execute_log(payload: dict) -> dict:
+def _execute_log(payload: dict, telemetry=None) -> dict:
     compiled, _, inputs = _resolve_program(payload["kind"], payload)
-    runner = ProgramRunner(compiled.program, inputs=inputs)
+    runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     machine, result = runner.run()
     return {"run": _run_summary(result, machine)}
 
 
-def _execute_dift_stats(payload: dict) -> dict:
+def _execute_dift_stats(payload: dict, telemetry=None) -> dict:
     """DIFT-only middle rung for ``trace``: taint stats, no trace store."""
     compiled, _, inputs = _resolve_program(payload["kind"], payload)
-    runner = ProgramRunner(compiled.program, inputs=inputs)
+    runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     machine = runner.machine()
     engine = DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(machine)
     result = machine.run(max_instructions=runner.max_instructions)
@@ -224,10 +224,10 @@ def _execute_dift_stats(payload: dict) -> dict:
     }
 
 
-def _execute_trace(payload: dict) -> dict:
+def _execute_trace(payload: dict, telemetry=None) -> dict:
     compiled, _, inputs = _resolve_program("trace", payload)
     params = payload.get("params") or {}
-    runner = ProgramRunner(compiled.program, inputs=inputs)
+    runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
     machine, tracer, result = runner.run_traced(config)
     stats = tracer.stats
@@ -243,10 +243,10 @@ def _execute_trace(payload: dict) -> dict:
     }
 
 
-def _execute_slice(payload: dict) -> dict:
+def _execute_slice(payload: dict, telemetry=None) -> dict:
     compiled, _, inputs = _resolve_program("slice", payload)
     params = payload.get("params") or {}
-    runner = ProgramRunner(compiled.program, inputs=inputs)
+    runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
     _, tracer, result = runner.run_traced(config)
     ddg = tracer.dependence_graph()
@@ -284,10 +284,10 @@ def _execute_slice(payload: dict) -> dict:
     }
 
 
-def _execute_attack(payload: dict, fidelity: str) -> dict:
+def _execute_attack(payload: dict, fidelity: str, telemetry=None) -> dict:
     compiled, source, inputs = _resolve_program("attack", payload)
     params = payload.get("params") or {}
-    runner = ProgramRunner(compiled.program, inputs=inputs)
+    runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     machine = runner.machine()
     # full = PC taint (detects *and* names the root cause); the dift
     # rung is boolean taint — detection without explanation (E11).
@@ -314,12 +314,12 @@ def _execute_attack(payload: dict, fidelity: str) -> dict:
     }
 
 
-def _execute_lineage(payload: dict) -> dict:
+def _execute_lineage(payload: dict, telemetry=None) -> dict:
     from ..apps.lineage import LineageTracer
 
     compiled, _, inputs = _resolve_program("lineage", payload)
     params = payload.get("params") or {}
-    runner = ProgramRunner(compiled.program, inputs=inputs)
+    runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     tracer = LineageTracer(representation=params.get("representation", "robdd"))
     trace = tracer.trace(runner, output_channel=int(params.get("channel", 1)))
     return {
@@ -366,31 +366,80 @@ def _execute_chaos(payload: dict) -> dict:
     raise ProtocolError(f"unknown chaos mode {mode!r}")
 
 
-def execute_job(payload: dict) -> dict:
+def execute_job(payload: dict, telemetry=None) -> dict:
     """Run one worker-form job payload to completion (pure, in-process).
 
     Returns the JSON-safe result envelope.  Raises
     :class:`ProtocolError` for spec-level problems and lets
     :class:`~repro.lang.CompileError` escape as itself (the pool turns
-    both into clean ``error`` responses).
+    both into clean ``error`` responses).  ``telemetry`` threads an
+    optional :class:`~repro.telemetry.Telemetry` bundle into the engine
+    (the traced-execution path uses its span tracer); it never changes
+    the result payload, so cached results stay bit-identical.
     """
     kind = payload["kind"]
     fidelity = payload.get("fidelity", FIDELITY_FULL)
     if kind == CHAOS_KIND:
         body = _execute_chaos(payload)
     elif fidelity == FIDELITY_LOG:
-        body = _execute_log(payload)
+        body = _execute_log(payload, telemetry)
     elif kind == "trace":
-        body = _execute_dift_stats(payload) if fidelity == FIDELITY_DIFT else _execute_trace(payload)
+        body = (
+            _execute_dift_stats(payload, telemetry)
+            if fidelity == FIDELITY_DIFT
+            else _execute_trace(payload, telemetry)
+        )
     elif kind == "slice":
-        body = _execute_slice(payload)
+        body = _execute_slice(payload, telemetry)
     elif kind == "attack":
-        body = _execute_attack(payload, fidelity)
+        body = _execute_attack(payload, fidelity, telemetry)
     elif kind == "lineage":
-        body = _execute_lineage(payload)
+        body = _execute_lineage(payload, telemetry)
     else:  # pragma: no cover - resolve_spec guards this
         raise ProtocolError(f"unknown job kind {kind!r}")
     return {"kind": kind, "fidelity": fidelity, **body}
+
+
+#: engine (cycle-clock) spans shipped per traced job, at most.
+MAX_ENGINE_SPANS = 512
+
+
+def execute_job_traced(payload: dict, trace_id: str) -> dict:
+    """Run one job with span capture; result gains a ``"_spans"`` list.
+
+    The worker's own interval (``worker.execute``) is stamped in wall
+    epoch microseconds so it nests inside the server's spans; the
+    engine's deterministic cycle-clock spans are re-based at the worker
+    span's start (1 modeled cycle = 1 µs, marked ``clock:
+    "modeled-cycles"`` so a reader never confuses the two timelines).
+    The pool strips ``"_spans"`` before caching, so the cached result
+    stays bit-identical to an untraced run's.
+    """
+    from ..telemetry import NULL_REGISTRY, SpanTracer, Telemetry
+    from ..telemetry.obs import span_event, wall_now_us
+
+    tracer = SpanTracer(enabled=True)
+    telemetry = Telemetry(registry=NULL_REGISTRY, tracer=tracer)
+    t0 = wall_now_us()
+    result = execute_job(payload, telemetry=telemetry)
+    dur = wall_now_us() - t0
+    pid = os.getpid()
+    events = [
+        span_event(
+            "worker.execute", t0, dur, pid=pid, tid=0,
+            trace_id=trace_id, kind=payload.get("kind"),
+            fidelity=payload.get("fidelity"),
+        )
+    ]
+    for s in list(tracer.events)[:MAX_ENGINE_SPANS]:
+        events.append(
+            span_event(
+                s.name, t0 + s.ts, s.dur, pid=pid, tid=s.tid + 1, cat=s.cat,
+                trace_id=trace_id, clock="modeled-cycles",
+            )
+        )
+    result["_spans"] = events
+    return result
 
 
 __all__ = [
@@ -402,8 +451,10 @@ __all__ = [
     "JOB_KINDS",
     "JobSpec",
     "WORKLOAD_FACTORIES",
+    "MAX_ENGINE_SPANS",
     "cache_key",
     "execute_job",
+    "execute_job_traced",
     "program_key",
     "resolve_spec",
 ]

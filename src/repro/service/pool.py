@@ -36,7 +36,9 @@ import time
 from collections import deque
 
 from ..telemetry import LATENCY_BUCKETS_S, NULL_REGISTRY
-from .jobs import JobSpec, execute_job, program_key
+from ..telemetry.obs import wall_now_us
+from .jobs import JobSpec, execute_job, execute_job_traced, program_key
+from .observe import NULL_OBSERVABILITY
 from .protocol import STATUS_ERROR, STATUS_OK, STATUS_TIMEOUT
 
 _CTX = multiprocessing.get_context(
@@ -57,8 +59,14 @@ def _worker_main(conn) -> None:
                 break
             if payload is None:
                 break
+            # "_trace" is transport metadata the server attaches for
+            # traced jobs, never part of the spec (or the cache key).
+            trace_id = payload.pop("_trace", None) if isinstance(payload, dict) else None
             try:
-                result = execute_job(payload)
+                if trace_id:
+                    result = execute_job_traced(payload, trace_id)
+                else:
+                    result = execute_job(payload)
                 verdict = ("ok", result)
             except Exception as exc:
                 verdict = ("error", f"{type(exc).__name__}: {exc}")
@@ -83,8 +91,13 @@ class Job:
         self.shard_key = program_key(spec)
         self.degraded = False
         self.degrade_reason = ""
+        #: distributed-tracing state: empty trace_id = untraced job.
+        self.trace_id = ""
+        self.worker_events: list[dict] = []
         now = time.monotonic()
         self.t_submit = now
+        self.w_submit = wall_now_us()
+        self.w_start = 0
         self.t_start = 0.0
         self.t_done = 0.0
         self.deadline = None if deadline_s is None else now + deadline_s
@@ -130,11 +143,13 @@ class WorkerPool:
         max_retries: int = 1,
         respawn_limit: int = 3,
         backoff_s: float = 0.05,
+        obs=None,
     ):
         if workers < 1:
             raise ValueError("pool needs >= 1 worker")
         self.workers = workers
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.obs = obs if obs is not None else NULL_OBSERVABILITY
         self.max_retries = max_retries
         self.respawn_limit = respawn_limit
         self.backoff_s = backoff_s
@@ -168,6 +183,7 @@ class WorkerPool:
         proc.start()
         child_conn.close()
         slot.proc, slot.conn = proc, parent_conn
+        self.obs.event("worker.spawn", slot=slot.idx, pid=proc.pid)
 
     def stop(self, timeout_s: float = 5.0) -> None:
         """Stop threads, terminate workers, fail anything still queued."""
@@ -226,6 +242,10 @@ class WorkerPool:
             self.registry.gauge("service.queue.depth").set(self._depth_locked())
             self.registry.gauge("service.queue.depth.peak").set_max(self._depth_locked())
             self._cond.notify_all()
+        self.obs.event(
+            "dispatch", job=job.id, job_kind=job.spec.kind, shard=shard,
+            trace_id=job.trace_id,
+        )
 
     def _take(self, slot: _Slot) -> Job | None:
         """Own queue first, else steal from the longest; None = stopped."""
@@ -245,6 +265,7 @@ class WorkerPool:
                         continue
                     job = richest.popleft()
                     self.registry.counter("service.pool.steals").inc()
+                    self.obs.event("steal", slot=slot.idx, job=job.id)
                 slot.busy = True
                 self.registry.gauge("service.queue.depth").set(self._depth_locked())
                 return job
@@ -274,6 +295,7 @@ class WorkerPool:
             if job.expired:
                 self.jobs_timed_out += 1
                 registry.counter("service.jobs.timeouts").inc()
+                self.obs.event("deadline.queue-expired", slot=slot.idx, job=job.id)
                 job.finish(STATUS_TIMEOUT, error="deadline expired in queue")
                 return
             if slot.proc is None or not slot.proc.is_alive():
@@ -284,6 +306,7 @@ class WorkerPool:
                     return
             job.attempts += 1
             job.t_start = job.t_start or time.monotonic()
+            job.w_start = job.w_start or wall_now_us()
             try:
                 slot.conn.send(job.payload)
                 verdict = self._await_verdict(slot, job)
@@ -323,9 +346,17 @@ class WorkerPool:
                 slot.consecutive_respawns = 0
                 slot.jobs_done += 1
                 if status == "ok":
+                    if isinstance(body, dict):
+                        # Traced workers ride their span events back
+                        # inside the result; strip them *before* the
+                        # result is finished (and possibly cached) so
+                        # cached payloads stay bit-identical.
+                        spans = body.pop("_spans", None)
+                        if spans:
+                            job.worker_events = spans
                     self.jobs_completed += 1
                     registry.counter("service.jobs.completed").inc()
-                    self._observe_latency(job)
+                    self._observe_latency(job, slot)
                     job.finish(STATUS_OK, result=body)
                 else:
                     self.jobs_failed += 1
@@ -337,6 +368,11 @@ class WorkerPool:
                 # can only be stopped by terminating the process.
                 proc.terminate()
                 proc.join(timeout=1.0)
+                self.obs.event(
+                    "deadline.cancel", slot=slot.idx, job=job.id,
+                    job_kind=job.spec.kind, attempts=job.attempts,
+                )
+                self.obs.crash_dump("deadline-cancel", slot=slot.idx, job=job.id)
                 self._respawn(slot, deliberate=True)
                 self.jobs_timed_out += 1
                 registry.counter("service.jobs.timeouts").inc()
@@ -348,6 +384,9 @@ class WorkerPool:
 
     def _note_crash(self, slot: _Slot) -> None:
         self.registry.counter("service.workers.crashes").inc()
+        pid = slot.proc.pid if slot.proc is not None else None
+        self.obs.event("worker.crash", slot=slot.idx, pid=pid)
+        self.obs.crash_dump("worker-crash", slot=slot.idx, pid=pid)
         # Reap the dying worker now: pipe EOF can be observed a moment
         # *before* the exiting child becomes waitable, and the retry
         # loop's is_alive() check must not see that zombie window (it
@@ -372,11 +411,16 @@ class WorkerPool:
             slot.proc = None
         slot.respawns += 1
         self.registry.counter("service.workers.respawns").inc()
+        self.obs.event("worker.respawn", slot=slot.idx, deliberate=deliberate,
+                       consecutive=slot.consecutive_respawns)
         if not deliberate:
             slot.consecutive_respawns += 1
             if slot.consecutive_respawns > self.respawn_limit:
                 slot.dead = True
                 self.registry.counter("service.workers.dead").inc()
+                self.obs.event("worker.dead", slot=slot.idx,
+                               consecutive=slot.consecutive_respawns)
+                self.obs.crash_dump("crash-loop", slot=slot.idx)
                 return False
             time.sleep(
                 min(self.backoff_s * (2 ** (slot.consecutive_respawns - 1)), 1.0)
@@ -398,7 +442,7 @@ class WorkerPool:
                 self._queues[live[i % len(live)].idx].append(job)
             self._cond.notify_all()
 
-    def _observe_latency(self, job: Job) -> None:
+    def _observe_latency(self, job: Job, slot: _Slot | None = None) -> None:
         registry = self.registry
         queue_s = max(0.0, job.t_start - job.t_submit)
         exec_s = max(0.0, time.monotonic() - job.t_start)
@@ -407,6 +451,20 @@ class WorkerPool:
         registry.histogram("service.latency.total_s", LATENCY_BUCKETS_S).observe(
             queue_s + exec_s
         )
+        if job.trace_id:
+            # Retroactive spans: the slot thread learns the stage edges
+            # after the fact, so open-span bookkeeping never crosses
+            # threads.  tid 0 is the handler lane, slots get 1 + idx.
+            tid = 1 + (slot.idx if slot is not None else 0)
+            self.obs.span_at(
+                "pool.queue", job.w_submit, job.w_start - job.w_submit,
+                tid=tid, trace_id=job.trace_id, job=job.id,
+            )
+            self.obs.span_at(
+                "pool.exec", job.w_start, wall_now_us() - job.w_start,
+                tid=tid, trace_id=job.trace_id, job=job.id,
+                attempts=job.attempts,
+            )
 
     # -- introspection -------------------------------------------------------
     def alive_workers(self) -> int:

@@ -27,10 +27,13 @@ import threading
 import time
 from dataclasses import dataclass
 
+from .. import fastpath
 from ..telemetry import MetricsRegistry
+from ..telemetry.obs import latency_summary, new_trace_id, render_prometheus, wall_now_us
 from .admission import ACTION_ADMIT, AdmissionController
 from .cache import ResultCache
 from .jobs import cache_key, resolve_spec
+from .observe import NULL_OBSERVABILITY, ServiceObservability
 from .pool import Job, WorkerPool
 from .protocol import (
     EOF,
@@ -69,6 +72,12 @@ class ServiceConfig:
     degrade: bool | None = None
     #: admit the test-only "chaos" job kind (crash/hang injection).
     allow_chaos: bool = False
+    #: None -> repro.fastpath.service_observe_enabled() (env-resolved).
+    observe: bool | None = None
+    #: where flight-recorder dumps land (default: the daemon's cwd).
+    obs_dir: str | None = None
+    #: metrics-window sampling period for the background sampler.
+    sample_interval_s: float = 1.0
 
     def address(self) -> str:
         if self.port is not None:
@@ -88,11 +97,20 @@ class AnalysisServer:
             config.queue_capacity, degrade=config.degrade
         )
         self.cache = ResultCache(config.cache_entries, registry=self.registry)
+        if fastpath.service_observe_enabled(config.observe):
+            self.obs = ServiceObservability(
+                self.registry,
+                dump_dir=config.obs_dir,
+                sample_interval_s=config.sample_interval_s,
+            )
+        else:
+            self.obs = NULL_OBSERVABILITY
         self.pool = WorkerPool(
             workers=config.workers,
             registry=self.registry,
             max_retries=config.max_retries,
             respawn_limit=config.respawn_limit,
+            obs=self.obs,
         )
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
@@ -121,6 +139,9 @@ class AnalysisServer:
         self._listener = listener
         self._running = True
         self._started_at = time.monotonic()
+        self.obs.start()
+        self.obs.event("server.start", address=config.address(),
+                       workers=config.workers, capacity=config.queue_capacity)
         self.pool.start()
         self.registry.gauge("service.workers").set(config.workers)
         self._accept_thread = threading.Thread(
@@ -152,6 +173,8 @@ class AnalysisServer:
         for thread in list(self._conn_threads):
             thread.join(timeout=2.0)
         self.pool.stop()
+        self.obs.event("server.stop")
+        self.obs.stop()
         if self.config.socket_path:
             with contextlib.suppress(OSError):
                 os.unlink(self.config.socket_path)
@@ -209,24 +232,63 @@ class AnalysisServer:
             return {"status": STATUS_OK, "stats": self.stats()}
         if kind == "health":
             return {"status": STATUS_OK, "health": self.health()}
+        if kind == "metrics":
+            return {
+                "status": STATUS_OK,
+                "metrics": self.metrics(dump=bool(request.get("dump"))),
+            }
         if kind == "shutdown":
             return {"status": STATUS_OK, "shutting_down": True}
         return self._dispatch_job(request)
 
     def _dispatch_job(self, request: dict) -> dict:
+        w0 = wall_now_us()
+        # Per-job tracing is request opt-in ("trace": true) *and* gated
+        # on the daemon's observability seam; trace keys are transport
+        # metadata resolve_spec ignores, so cache keys never see them.
+        want_trace = bool(request.get("trace")) and self.obs.enabled
+        trace_id = ""
+        if want_trace:
+            trace_id = str(request.get("trace_id") or "") or new_trace_id()
+        response, worker_events = self._admit_and_run(request, trace_id)
+        if want_trace:
+            self.obs.span_at(
+                "server.handle", w0, wall_now_us() - w0,
+                trace_id=trace_id, status=response.get("status"),
+            )
+            response["trace"] = {
+                "trace_id": trace_id,
+                "events": self.obs.trace_events(trace_id) + list(worker_events),
+            }
+        return response
+
+    def _admit_and_run(self, request: dict, trace_id: str) -> tuple[dict, list]:
         registry = self.registry
         registry.counter("service.jobs.received").inc()
         t0 = time.monotonic()
         spec = resolve_spec(request, allow_chaos=self.config.allow_chaos)
 
-        decision = self.admission.decide(self.pool.depth(), spec.kind, spec.fidelity)
+        a0 = wall_now_us()
+        depth = self.pool.depth()
+        decision = self.admission.decide(depth, spec.kind, spec.fidelity)
+        self.obs.event(
+            "admission", action=decision.action, job_kind=spec.kind, depth=depth,
+            requested=spec.fidelity, resolved=decision.fidelity,
+            reason=decision.reason, trace_id=trace_id,
+        )
+        if trace_id:
+            self.obs.span_at(
+                "server.admission", a0, wall_now_us() - a0,
+                trace_id=trace_id, action=decision.action, depth=depth,
+                fidelity=decision.fidelity,
+            )
         if decision.action != ACTION_ADMIT:
             registry.counter("service.jobs.rejected").inc()
             return {
                 "status": STATUS_REJECTED,
                 "reason": decision.reason,
                 "retry_after_s": 0.5,
-            }
+            }, []
         degraded = decision.degraded
         spec.fidelity = decision.fidelity
         if degraded:
@@ -237,25 +299,34 @@ class AnalysisServer:
         if spec.cache:
             cached = self.cache.get(key)
             if cached is not None:
+                if trace_id:
+                    self.obs.instant_at(
+                        "server.cache_hit", wall_now_us(), trace_id=trace_id
+                    )
                 return self._job_response(
                     cached, degraded, decision.reason, cached=True, t0=t0
-                )
+                ), []
 
         deadline = spec.deadline_s or self.config.default_deadline_s
         job = Job(spec, key, deadline_s=deadline)
         job.degraded = degraded
         job.degrade_reason = decision.reason
+        if trace_id:
+            job.trace_id = trace_id
+            job.payload["_trace"] = trace_id
         self.pool.submit(job)
         if not job.event.wait(timeout=deadline + _GRACE_S):
             # The pool should have timed the job out itself; this is the
             # handler's own never-hang guarantee.
             registry.counter("service.jobs.lost").inc()
-            return {"status": STATUS_ERROR, "error": "job lost by the pool"}
+            return {"status": STATUS_ERROR, "error": "job lost by the pool"}, []
         if job.status == STATUS_OK:
             if spec.cache and job.result is not None:
                 self.cache.put(key, job.result)
-            return self._job_response(job.result, degraded, decision.reason, t0=t0)
-        return {"status": job.status, "error": job.error}
+            return self._job_response(
+                job.result, degraded, decision.reason, t0=t0
+            ), job.worker_events
+        return {"status": job.status, "error": job.error}, job.worker_events
 
     def _job_response(
         self, result: dict, degraded: bool, reason: str, cached: bool = False,
@@ -299,6 +370,24 @@ class AnalysisServer:
             },
             "metrics": self.registry.as_dict(),
         }
+
+    def metrics(self, dump: bool = False) -> dict:
+        """The ``metrics`` request body: exposition + derived summary.
+
+        The JSON snapshot, Prometheus text and p50/p95/p99 + shed-rate
+        summary come straight off the live registry, so they work even
+        with observability disabled; the observability extras (sample
+        series, flight-dump paths, session id) ride along when the seam
+        is on.  ``dump=True`` additionally writes a flight-recorder
+        artifact and reports its path.
+        """
+        payload = {
+            "json": self.registry.as_dict(),
+            "prometheus": render_prometheus(self.registry),
+            "summary": latency_summary(self.registry),
+        }
+        payload.update(self.obs.metrics_payload(dump=dump))
+        return payload
 
 
 __all__ = ["AnalysisServer", "DEFAULT_DEADLINE_S", "ServiceConfig"]

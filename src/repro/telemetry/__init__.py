@@ -33,6 +33,16 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .obs import (
+    FlightRecorder,
+    MetricsWindow,
+    WallSpanTracer,
+    histogram_quantile,
+    latency_summary,
+    new_trace_id,
+    render_prometheus,
+    wall_now_us,
+)
 from .report import REPORT_SCHEMA, RunReport, build_report, validate_report
 from .spans import NULL_TRACER, Span, SpanTracer, validate_chrome_trace
 
@@ -68,6 +78,14 @@ __all__ = [
     "Span",
     "SpanTracer",
     "NULL_TRACER",
+    "WallSpanTracer",
+    "FlightRecorder",
+    "MetricsWindow",
+    "histogram_quantile",
+    "latency_summary",
+    "new_trace_id",
+    "render_prometheus",
+    "wall_now_us",
     "validate_chrome_trace",
     "RunReport",
     "REPORT_SCHEMA",

@@ -16,42 +16,63 @@ disabled registry hands out shared no-op instruments, so instrumented
 code can call ``counter.inc()`` unconditionally and a disabled run
 pays one attribute load, no allocation, and never perturbs the
 deterministic cycle model (telemetry never calls ``add_overhead``).
+
+**Thread safety.**  The analysis service mutates one live registry from
+many handler threads at once, so every *mutator* is atomic: each
+instrument owns a private lock taken around its read-modify-write
+(``inc`` / ``set_max`` / ``observe``; plain ``set`` is a single store
+but takes it too for uniformity), and the registry takes a registry-wide
+lock around instrument creation, so two threads racing
+``registry.counter(name)`` always receive the same object.  *Reads* are
+deliberately lock-free: ``value`` is one attribute load (atomic in
+CPython), and snapshot methods (``as_dict`` / ``flat``) hold only the
+registry lock for a stable key set — a snapshot taken mid-hammer may be
+momentarily stale but never torn, which is all a metrics scrape needs.
+Single-threaded hot loops keep their own local counters and bulk-``inc``
+at publish time, so the per-instrument lock is uncontended where speed
+matters.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 
 
 class Counter:
     """Monotonically increasing count."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
     """A point-in-time measurement; ``set_max`` tracks high-water marks."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def set_max(self, value: float) -> None:
-        if value > self.value:
-            self.value = value
+        with self._lock:
+            if value > self.value:
+                self.value = value
 
 
 class Histogram:
@@ -62,7 +83,7 @@ class Histogram:
     ``counts`` has ``len(buckets) + 1`` entries.
     """
 
-    __slots__ = ("name", "buckets", "counts", "total", "sum")
+    __slots__ = ("name", "buckets", "counts", "total", "sum", "_lock")
 
     def __init__(self, name: str, buckets: tuple[float, ...]):
         if not buckets or list(buckets) != sorted(buckets):
@@ -72,19 +93,22 @@ class Histogram:
         self.counts = [0] * (len(buckets) + 1)
         self.total = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.total += 1
-        self.sum += value
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.total += 1
+            self.sum += value
 
     def as_dict(self) -> dict:
-        return {
-            "buckets": list(self.buckets),
-            "counts": list(self.counts),
-            "count": self.total,
-            "sum": self.sum,
-        }
+        with self._lock:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "count": self.total,
+                "sum": self.sum,
+            }
 
 
 class _NullCounter(Counter):
@@ -140,13 +164,15 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         if not self.enabled:
             return _NULL_COUNTER
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name)
+            with self._lock:
+                c = self.counters.setdefault(name, Counter(name))
         return c
 
     def gauge(self, name: str) -> Gauge:
@@ -154,7 +180,8 @@ class MetricsRegistry:
             return _NULL_GAUGE
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name)
+            with self._lock:
+                g = self.gauges.setdefault(name, Gauge(name))
         return g
 
     def histogram(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
@@ -162,27 +189,35 @@ class MetricsRegistry:
             return _NULL_HISTOGRAM
         h = self.histograms.get(name)
         if h is None:
-            h = self.histograms[name] = Histogram(name, buckets)
+            with self._lock:
+                h = self.histograms.setdefault(name, Histogram(name, buckets))
         return h
 
     def as_dict(self) -> dict:
         """JSON-serializable snapshot, sorted for deterministic output."""
         if not self.enabled:
             return {}
+        with self._lock:
+            counters = sorted(self.counters)
+            gauges = sorted(self.gauges)
+            histograms = sorted(self.histograms)
         return {
-            "counters": {k: self.counters[k].value for k in sorted(self.counters)},
-            "gauges": {k: self.gauges[k].value for k in sorted(self.gauges)},
+            "counters": {k: self.counters[k].value for k in counters},
+            "gauges": {k: self.gauges[k].value for k in gauges},
             "histograms": {
-                k: self.histograms[k].as_dict() for k in sorted(self.histograms)
+                k: self.histograms[k].as_dict() for k in histograms
             },
         }
 
     def flat(self) -> dict[str, float]:
         """Counters and gauges as one flat name -> value mapping."""
         out: dict[str, float] = {}
-        for k in sorted(self.counters):
+        with self._lock:
+            counters = sorted(self.counters)
+            gauges = sorted(self.gauges)
+        for k in counters:
             out[k] = self.counters[k].value
-        for k in sorted(self.gauges):
+        for k in gauges:
             out[k] = self.gauges[k].value
         return out
 

@@ -259,3 +259,25 @@ class TestTelemetry:
         assert flat["multicore.parallel.defs"] == rep.defs
         assert flat["multicore.parallel.batch_size"] == 64
         assert flat["dift.instructions"] == res.instructions
+
+    def test_worker_spans_ship_over_side_pipe(self):
+        from repro.telemetry import NULL_TRACER, WallSpanTracer
+
+        factory = lambda: matmul(5).runner().machine()  # noqa: E731
+        _, helper, _ = _parallel_run(factory, batch_size=64)
+        rep = helper.report()
+        # one lifetime span plus at least one coalesced busy burst,
+        # all wall-epoch-us so they line up with service-tier spans.
+        names = [s["name"] for s in rep.spans]
+        assert names[0] == "helper.worker"
+        assert "helper.busy" in names
+        lifetime = rep.spans[0]
+        assert lifetime["args"]["busy_s"] >= 0.0
+        for s in rep.spans[1:]:
+            assert lifetime["ts"] <= s["ts"]
+            assert s["ts"] + s["dur"] <= lifetime["ts"] + lifetime["dur"]
+        tracer = WallSpanTracer(enabled=True)
+        assert helper.publish_spans(tracer) == len(rep.spans)
+        assert len(tracer.chrome_events()) == len(rep.spans)
+        # cycle-clock tracers lack the retroactive interface: no-op.
+        assert helper.publish_spans(NULL_TRACER) == 0

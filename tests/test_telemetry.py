@@ -97,6 +97,41 @@ class TestMetricsRegistry:
         reg.gauge("g").set(7)
         assert reg.flat() == {"c": 2, "g": 7}
 
+    def test_concurrent_hammering_loses_no_updates(self):
+        # Regression for the service tier: handler threads, the pool's
+        # verdict threads and the sampler all mutate one registry.  Each
+        # instrument carries its own mutator lock (reads stay lock-free;
+        # see the metrics module docstring), so N threads x M increments
+        # must land exactly N*M — unsynchronized `+=` would drop updates.
+        import threading
+
+        reg = MetricsRegistry(enabled=True)
+        threads_n, iters = 8, 2000
+        barrier = threading.Barrier(threads_n)
+
+        def hammer(i: int) -> None:
+            barrier.wait()
+            for k in range(iters):
+                reg.counter("hits").inc()
+                reg.gauge("hwm").set_max(i * iters + k)
+                reg.histogram("lat", buckets=(10, 100)).observe(k % 200)
+                if k % 100 == 0:  # concurrent snapshot readers
+                    reg.as_dict()
+                    reg.flat()
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        snap = reg.as_dict()
+        assert snap["counters"]["hits"] == threads_n * iters
+        assert snap["gauges"]["hwm"] == threads_n * iters - 1
+        hist = snap["histograms"]["lat"]
+        assert hist["count"] == threads_n * iters
+        assert sum(hist["counts"]) == threads_n * iters
+
 
 class TestSpanTracer:
     def test_disabled_tracer_hands_out_null_span(self):

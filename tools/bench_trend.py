@@ -1,0 +1,101 @@
+"""Aggregate BENCH_*.json benchmark snapshots into BENCH_trend.json.
+
+Each ``BENCH_<name>.json`` in the repo root is one experiment's headline
+numbers for the current checkout (written by ``repro experiment --bench``
+or the CI benchmarks job).  This tool folds them into a per-commit trend
+file so regressions are visible across the PR sequence:
+
+    {"schema": "repro.bench_trend/v1",
+     "entries": [{"commit": "...", "commit_date": "...",
+                  "experiments": {"service": {...headline...}, ...}}]}
+
+Re-running on the same commit replaces that commit's entry (benchmarks
+are rerun, not appended), so the file stays one-entry-per-commit and the
+latest numbers win.
+
+Usage: python tools/bench_trend.py [--root DIR] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+TREND_SCHEMA = "repro.bench_trend/v1"
+
+
+def _git(root: Path, *args: str) -> str:
+    out = subprocess.run(
+        ["git", *args], cwd=root, capture_output=True, text=True, check=True
+    )
+    return out.stdout.strip()
+
+
+def collect_bench(root: Path) -> dict[str, dict]:
+    """Headline dicts of every BENCH_*.json in ``root``, keyed by experiment."""
+    experiments: dict[str, dict] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name == "BENCH_trend.json":
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"bench_trend: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        name = data.get("experiment") or path.stem[len("BENCH_"):]
+        entry = {"headline": data.get("headline", {})}
+        if data.get("notes"):
+            entry["notes"] = data["notes"]
+        experiments[name] = entry
+    return experiments
+
+
+def update_trend(root: Path, out: Path) -> dict:
+    experiments = collect_bench(root)
+    if not experiments:
+        raise SystemExit("bench_trend: no BENCH_*.json files found")
+    commit = _git(root, "rev-parse", "HEAD")
+    commit_date = _git(root, "show", "-s", "--format=%cI", "HEAD")
+
+    trend = {"schema": TREND_SCHEMA, "entries": []}
+    if out.exists():
+        try:
+            prev = json.loads(out.read_text())
+            if prev.get("schema") == TREND_SCHEMA:
+                trend["entries"] = [
+                    e for e in prev.get("entries", []) if e.get("commit") != commit
+                ]
+        except (OSError, ValueError) as exc:
+            print(f"bench_trend: resetting corrupt {out.name}: {exc}", file=sys.stderr)
+
+    trend["entries"].append(
+        {"commit": commit, "commit_date": commit_date, "experiments": experiments}
+    )
+    trend["entries"].sort(key=lambda e: e.get("commit_date", ""))
+    out.write_text(json.dumps(trend, indent=1, sort_keys=True) + "\n")
+    return trend
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None, help="repo root (default: tool's parent)")
+    parser.add_argument("--out", default=None, help="output file (default: ROOT/BENCH_trend.json)")
+    args = parser.parse_args(argv)
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent.parent
+    out = Path(args.out) if args.out else root / "BENCH_trend.json"
+    trend = update_trend(root, out)
+    latest = trend["entries"][-1]
+    names = ", ".join(sorted(latest["experiments"]))
+    print(
+        f"bench_trend: {out} now has {len(trend['entries'])} entr"
+        f"{'y' if len(trend['entries']) == 1 else 'ies'}; "
+        f"latest {latest['commit'][:12]} covers: {names}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,10 +149,32 @@ COMMENTARY = {
         "admission capacity every request is answered — fidelity sheds "
         "first (full -> dift -> log, §2.2's cheap-logging/"
         "expensive-replay split as a live ladder), REJECTED only at the "
-        "capacity wall, zero hangs. The cache row is the determinism "
-        "argument operationalized: execution is a pure function of the "
-        "job spec, so the repeat is served from canonical JSON "
-        "bit-identical to the cold result, orders of magnitude faster."
+        "capacity wall, zero hangs. The SLO row reads the overload "
+        "daemon's own `service.latency.total_s` histogram back through "
+        "`histogram_quantile` — the same p50/p95/p99 and shed rate "
+        "`repro stats` exposes as Prometheus text on a production "
+        "daemon — so the overload policy is characterized in latency "
+        "terms, not just response counts. The cache row is the "
+        "determinism argument operationalized: execution is a pure "
+        "function of the job spec, so the repeat is served from "
+        "canonical JSON bit-identical to the cold result, orders of "
+        "magnitude faster. Every job in this table is traceable end to "
+        "end: `submit --trace` merges client/server/admission/"
+        "queue/exec/worker spans (wall-epoch-µs, plus the engine's "
+        "modeled-cycle spans re-based inside the worker span) into one "
+        "Chrome trace, e.g.\n\n"
+        "```\n"
+        "client.request          |==============================|\n"
+        "  server.handle           |==========================|\n"
+        "    server.admission      |=|\n"
+        "    pool.queue              |====|\n"
+        "    pool.exec                    |=================|\n"
+        "      worker.execute              |===============|\n"
+        "        engine spans               |... modeled-cycles ...|\n"
+        "```\n\n"
+        "and worker crashes / deadline cancels dump the flight "
+        "recorder's last-N structured events to a JSON artifact for "
+        "post-mortem."
     ),
 }
 

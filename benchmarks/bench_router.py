@@ -1,0 +1,64 @@
+"""Router tier — concurrent fan-out load, streamed relay, SLO gates.
+
+Wraps :func:`repro.harness.experiments.run_router`: 1 router + 3 real
+daemons on Unix sockets, hit by 200 simultaneous clients (the scale the
+router tier exists for — a single daemon's accept loop starts queueing
+well below that).  The gated invariants:
+
+* **Zero hangs** — every one of the 200 clients gets a terminal frame.
+  Overload may answer degraded/rejected (the backends' admission
+  ladder republished through the router), but never silence.
+* **SLO shape** — the router's own ``router.latency.total_s`` histogram
+  must yield an ordered p50 <= p95 <= p99 with a sane absolute ceiling,
+  and capacity rejects must stay a small minority at this load.
+* **Relay fidelity** — a streamed job through the router reassembles
+  byte-identical to the same job answered blocking by a backend
+  directly, and a cached repeat is served at the router without a
+  backend round trip.
+* **Fan-out** — consistent hashing must actually spread programs:
+  no single backend may absorb the whole burst.
+
+The result lands in ``BENCH_router.json`` (folded into
+``BENCH_trend.json`` by ``tools/bench_trend.py`` like every other
+benchmark snapshot).
+"""
+
+from conftest import report
+
+from repro.harness.experiments import run_router
+
+
+def test_router(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_router(clients=200, backends=3, workers=2), rounds=1,
+        iterations=1,
+    )
+    report(result)
+
+    # Never-hang is the hard contract: 200 concurrent clients, 200
+    # terminal frames.
+    assert result.headline["hangs"] == 0.0
+    assert result.headline["answered"] == 200.0
+
+    # The SLO must come from the router's own histogram and be shaped
+    # like a latency distribution; the ceiling is deliberately loose
+    # (shared CI hosts) — the ordering and the shed accounting are the
+    # real gates.
+    assert result.headline["slo_p50_ms"] > 0.0
+    assert result.headline["slo_p50_ms"] <= result.headline["slo_p95_ms"]
+    assert result.headline["slo_p95_ms"] <= result.headline["slo_p99_ms"]
+    assert result.headline["slo_p99_ms"] < 60_000.0
+    # Backpressure may shed, but most of the burst must be served.
+    assert result.headline["load_ok"] + result.headline["load_degraded"] >= 150.0
+    assert result.headline["reject_rate"] <= 0.25
+
+    # Streamed relay through the router is bit-identical to a direct
+    # blocking submit, and reassembling the partials reproduces it.
+    assert result.headline["stream_identical"] == 1.0
+    assert result.headline["stream_frames"] > 0.0
+
+    # The router cache answers repeats without touching a backend.
+    assert result.headline["router_cache_hit"] == 1.0
+
+    # Consistent hashing must fan out: no backend absorbs everything.
+    assert result.headline["placement_max"] < result.headline["answered"]

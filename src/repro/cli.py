@@ -9,9 +9,12 @@ Commands:
   instance of source line N; print the slice as source lines
 * ``attack FILE``       — execute under the DIFT attack monitor
 * ``experiments [IDS]`` — run paper experiments (default: all of E1..E12)
-* ``serve``             — run the analysis service daemon
-* ``submit KIND``       — submit one job (or stats/health/shutdown) to a
-  running daemon and print the JSON response
+* ``serve``             — run the analysis service daemon (``--async``
+  for the event-loop front door with streamed partial results)
+* ``route``             — run the consistent-hash router over N daemons
+* ``submit KIND``       — submit one job (or stats/health/shutdown, or
+  the router's drain/undrain) to a running daemon/router and print the
+  JSON response (``--stream`` for incremental partial frames)
 * ``stats``             — scrape a running daemon's live metrics
   (Prometheus text by default, ``--json`` for the snapshot series,
   ``--dump`` to force a flight-recorder artifact)
@@ -255,7 +258,7 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .service import AnalysisServer, ServiceConfig
+    from .service import ServiceConfig, make_server
 
     if (args.socket is None) == (args.port is None):
         print("error: serve needs exactly one of --socket or --port", file=sys.stderr)
@@ -274,11 +277,14 @@ def cmd_serve(args) -> int:
         obs_dir=args.obs_dir,
         sample_interval_s=args.sample_interval,
     )
-    server = AnalysisServer(config)
+    # --async / --sync win; neither defers to REPRO_SERVICE_ASYNC.
+    use_async = True if args.use_async else (False if args.sync else None)
+    server = make_server(config, use_async=use_async)
     server.start()
+    flavor = "async" if type(server).__name__ == "AsyncAnalysisServer" else "threaded"
     # Printed after bind so an ephemeral --port 0 shows the real port.
     print(f"serving on {config.address()} "
-          f"(workers={config.workers}, capacity={config.queue_capacity})",
+          f"({flavor}, workers={config.workers}, capacity={config.queue_capacity})",
           flush=True)
     try:
         server.serve_forever()
@@ -287,6 +293,40 @@ def cmd_serve(args) -> int:
     finally:
         server.stop()
     print("service stopped", flush=True)
+    return 0
+
+
+def cmd_route(args) -> int:
+    from .service import RouterConfig, RouterServer
+
+    if (args.socket is None) == (args.port is None):
+        print("error: route needs exactly one of --socket or --port", file=sys.stderr)
+        return 2
+    config = RouterConfig(
+        backends=list(args.backends),
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        health_interval_s=args.health_interval,
+        retries=args.retries,
+        cache_entries=args.cache_entries,
+        default_deadline_s=args.deadline,
+        observe=False if args.no_observe else None,
+        obs_dir=args.obs_dir,
+    )
+    router = RouterServer(config)
+    router.start()
+    print(f"routing on {config.address()} "
+          f"({len(config.backends)} backends, vnodes={config.vnodes})",
+          flush=True)
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.stop()
+    print("router stopped", flush=True)
     return 0
 
 
@@ -307,9 +347,12 @@ def cmd_submit(args) -> int:
             return 2
     if args.line is not None:
         params["line"] = args.line
-    is_job = args.kind not in ("stats", "health", "shutdown")
+    is_job = args.kind not in ("stats", "health", "shutdown", "drain", "undrain")
     if is_job and args.kind != "chaos" and (args.workload is None) == (args.file is None):
         print("error: submit needs exactly one of --workload or --file", file=sys.stderr)
+        return 2
+    if args.kind in ("drain", "undrain") and not args.backend:
+        print(f"error: {args.kind} needs --backend ADDR", file=sys.stderr)
         return 2
     source = Path(args.file).read_text() if is_job and args.file else None
 
@@ -317,6 +360,10 @@ def cmd_submit(args) -> int:
         with ServiceClient(args.connect, timeout_s=args.timeout) as client:
             if args.kind in ("stats", "health"):
                 response = client.request({"kind": args.kind})
+            elif args.kind in ("drain", "undrain"):
+                response = client.request(
+                    {"kind": args.kind, "backend": args.backend}
+                )
             elif args.kind == "shutdown":
                 response = client.shutdown()
             elif args.trace:
@@ -333,6 +380,23 @@ def cmd_submit(args) -> int:
                 )
                 print(f"chrome trace written to {args.trace} (open in Perfetto)",
                       file=sys.stderr)
+            elif args.stream:
+                def on_partial(seq: int, op: dict) -> None:
+                    print(f"partial {seq}: {json.dumps(op, sort_keys=True)}",
+                          file=sys.stderr)
+
+                response, ops = client.submit_stream(
+                    args.kind,
+                    on_partial=on_partial,
+                    workload=args.workload,
+                    scale=args.scale,
+                    source=source,
+                    fidelity=args.fidelity,
+                    params=params or None,
+                    cache=not args.no_cache,
+                    deadline_s=args.deadline,
+                )
+                print(f"streamed {len(ops)} partial frames", file=sys.stderr)
             else:
                 response = client.submit(
                     args.kind,
@@ -479,15 +543,56 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="S",
                          help="metrics time-series sampling period in "
                               "seconds (default: 1.0)")
-    p_serve.set_defaults(func=cmd_serve)
+    flavor = p_serve.add_mutually_exclusive_group()
+    flavor.add_argument("--async", dest="use_async", action="store_true",
+                        help="run the asyncio front door (coroutine per "
+                             "connection, streamed partial results)")
+    flavor.add_argument("--sync", action="store_true",
+                        help="force the thread-per-connection daemon even if "
+                             "REPRO_SERVICE_ASYNC is set")
+    p_serve.set_defaults(func=cmd_serve, use_async=False, sync=False)
+
+    p_route = sub.add_parser(
+        "route", help="run the consistent-hash router over N daemons"
+    )
+    p_route.add_argument("--backends", required=True, nargs="+", metavar="ADDR",
+                         help="backend daemon addresses (unix:///path, "
+                              "tcp://host:port, host:port, or socket paths)")
+    p_route.add_argument("--socket", metavar="PATH",
+                         help="Unix socket path to listen on")
+    p_route.add_argument("--port", type=int, metavar="N",
+                         help="TCP port to listen on (0 = ephemeral)")
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument("--vnodes", type=int, default=64,
+                         help="virtual nodes per backend on the hash ring "
+                              "(default 64)")
+    p_route.add_argument("--health-interval", type=float, default=0.5,
+                         metavar="S",
+                         help="backend health-probe period (default 0.5s)")
+    p_route.add_argument("--retries", type=int, default=1,
+                         help="reroute attempts after a backend dies mid-job "
+                              "(default 1)")
+    p_route.add_argument("--cache-entries", type=int, default=256,
+                         help="router-level result cache capacity (jobs)")
+    p_route.add_argument("--deadline", type=float, default=120.0, metavar="S",
+                         help="default per-job deadline in seconds")
+    p_route.add_argument("--no-observe", action="store_true",
+                         help="disable the router's flight recorder/sampler")
+    p_route.add_argument("--obs-dir", metavar="DIR", default=None,
+                         help="directory for flight-recorder dump artifacts")
+    p_route.set_defaults(func=cmd_route)
 
     p_submit = sub.add_parser(
         "submit", help="submit one job to a running analysis service"
     )
     p_submit.add_argument("kind",
                           choices=("trace", "slice", "attack", "lineage",
-                                   "chaos", "stats", "health", "shutdown"),
-                          help="job kind, or a control request")
+                                   "chaos", "stats", "health", "shutdown",
+                                   "drain", "undrain"),
+                          help="job kind, or a control request (drain/undrain "
+                               "are router verbs)")
+    p_submit.add_argument("--backend", metavar="ADDR", default=None,
+                          help="backend address for drain/undrain")
     p_submit.add_argument("--connect", required=True, metavar="ADDR",
                           help="unix:///path, tcp://host:port, or a socket path")
     p_submit.add_argument("--workload", metavar="NAME",
@@ -509,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--trace", metavar="PATH",
                           help="trace the job end to end and write the merged "
                                "client+server+worker Chrome trace to PATH")
+    p_submit.add_argument("--stream", action="store_true",
+                          help="request streamed partial results (prints each "
+                               "partial op to stderr as it arrives; the final "
+                               "JSON on stdout is unchanged)")
     p_submit.set_defaults(func=cmd_submit)
 
     p_stats = sub.add_parser(

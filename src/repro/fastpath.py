@@ -160,6 +160,46 @@ def service_degrade_enabled(explicit: bool | None = None) -> bool:
     return _env_bool("REPRO_SERVICE_DEGRADE", True)
 
 
+def service_async_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the service's asyncio front-door switch.
+
+    When on, ``repro serve`` runs the :mod:`repro.service.aserver`
+    event-loop server (coroutine per connection, streamed partial
+    results) instead of the thread-per-connection daemon.  Both speak
+    the identical frame protocol against the identical pool, so this is
+    a deployment-shape lever, not a semantic one: an explicit argument
+    (the ``--async`` / ``--sync`` CLI flags) wins, otherwise
+    ``REPRO_SERVICE_ASYNC`` decides (default off — the threaded daemon
+    remains the conservative default).
+    """
+    if explicit is not None:
+        return explicit
+    return _env_bool("REPRO_SERVICE_ASYNC", False)
+
+
+#: rows per streamed partial frame (slice pcs/lines chunking).
+DEFAULT_STREAM_CHUNK_ROWS = 64
+
+
+def stream_chunk_rows(explicit: int | None = None) -> int:
+    """Resolve the streamed-result row-chunk size.
+
+    Bounds how many slice rows ride in one ``partial`` frame.  Purely a
+    framing knob — reassembly is chunk-size-independent, so any positive
+    value yields byte-identical results.  An explicit positive argument
+    wins, then ``REPRO_SERVICE_STREAM_CHUNK``, then
+    :data:`DEFAULT_STREAM_CHUNK_ROWS`.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError("stream chunk must be >= 1 row")
+        return explicit
+    raw = os.environ.get("REPRO_SERVICE_STREAM_CHUNK")
+    if raw is None:
+        return DEFAULT_STREAM_CHUNK_ROWS
+    return max(1, int(raw))
+
+
 def service_observe_enabled(explicit: bool | None = None) -> bool:
     """Resolve the analysis service's observability switch.
 
@@ -227,6 +267,7 @@ def resolve_config(config: "FastPathConfig | bool | None") -> FastPathConfig:
 
 __all__ = [
     "DEFAULT_PARALLEL_BATCH",
+    "DEFAULT_STREAM_CHUNK_ROWS",
     "FastPathConfig",
     "configure",
     "current",
@@ -236,6 +277,8 @@ __all__ = [
     "replace",
     "resolve",
     "resolve_config",
+    "service_async_enabled",
     "service_degrade_enabled",
     "service_observe_enabled",
+    "stream_chunk_rows",
 ]

@@ -21,21 +21,36 @@ require:
   crash detection and bounded respawn/backoff with one retry.
 * :mod:`server` / :mod:`client` — the accept loop + blocking client
   (also reachable as ``repro serve`` / ``repro submit``).
+* :mod:`aserver` — the :mod:`asyncio` front door: one event loop,
+  coroutine per connection, streamed ``partial`` result frames
+  (``repro serve --async``); same :class:`~repro.service.server.ServiceCore`,
+  byte-identical terminal responses.
+* :mod:`router` — the scale-out tier: consistent-hash sharding of job
+  requests across N daemons by program identity, health mark-down/up,
+  draining, crash rerouting with exactly-once partial relay, and a
+  router-level result cache (``repro route``).
 
-Everything threads ``service.*`` telemetry through
-:class:`repro.telemetry.MetricsRegistry`; ``STATS`` and ``HEALTH``
-requests expose the same snapshot over the wire.
+Everything threads ``service.*`` / ``aserver.*`` / ``router.*``
+telemetry through :class:`repro.telemetry.MetricsRegistry`; ``STATS``
+and ``HEALTH`` requests expose the same snapshot over the wire.
 """
 
 from .admission import AdmissionController, AdmissionDecision
+from .aserver import AsyncAnalysisServer, make_server
 from .cache import ResultCache
-from .client import ServiceClient, ServiceError, wait_until_ready
+from .client import (
+    ServiceClient,
+    ServiceError,
+    ServiceProtocolError,
+    wait_until_ready,
+)
 from .jobs import (
     FIDELITY_LADDER,
     JOB_KINDS,
     JobSpec,
     cache_key,
     execute_job,
+    execute_job_stream,
     execute_job_traced,
     program_key,
     resolve_spec,
@@ -46,39 +61,57 @@ from .protocol import (
     STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_PARTIAL,
     STATUS_REJECTED,
     STATUS_TIMEOUT,
+    FrameAssembler,
     ProtocolError,
+    apply_stream_op,
+    reassemble,
     recv_frame,
     send_frame,
 )
-from .server import AnalysisServer, ServiceConfig
+from .router import HashRing, RouterConfig, RouterServer, routing_key
+from .server import AnalysisServer, ServiceConfig, ServiceCore
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AnalysisServer",
+    "AsyncAnalysisServer",
     "FIDELITY_LADDER",
+    "FrameAssembler",
+    "HashRing",
     "JOB_KINDS",
     "JobSpec",
     "NULL_OBSERVABILITY",
     "ProtocolError",
     "ResultCache",
+    "RouterConfig",
+    "RouterServer",
     "ServiceObservability",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceCore",
     "ServiceError",
+    "ServiceProtocolError",
     "STATUS_DEGRADED",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_PARTIAL",
     "STATUS_REJECTED",
     "STATUS_TIMEOUT",
     "WorkerPool",
+    "apply_stream_op",
     "cache_key",
     "execute_job",
+    "execute_job_stream",
     "execute_job_traced",
+    "make_server",
     "program_key",
+    "reassemble",
     "recv_frame",
+    "routing_key",
     "send_frame",
     "resolve_spec",
     "wait_until_ready",

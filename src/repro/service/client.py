@@ -32,6 +32,19 @@ class ServiceError(Exception):
     """
 
 
+class ServiceProtocolError(ServiceError):
+    """The peer broke the frame protocol mid-conversation.
+
+    Covers torn frames (connection dropped between header and payload),
+    corrupt length prefixes, undecodable payloads, and a server that
+    closes without answering.  These used to surface as the raw
+    transport's ``struct.error`` / short-read artifacts; every client
+    entry point now normalizes them to this one typed error so callers
+    can distinguish "the wire broke" from "could not connect"
+    (:class:`ServiceError`) without string matching.
+    """
+
+
 def _parse_address(address: str) -> tuple[str, str | tuple[str, int]]:
     """``unix:///path``, ``tcp://host:port``, ``host:port`` or a bare path."""
     if address.startswith("unix://"):
@@ -83,12 +96,9 @@ class ServiceClient:
         self.close()
 
     # -- one round trip ------------------------------------------------------
-    def request(self, payload: dict) -> dict:
-        """Send one frame, receive one frame."""
-        if self._sock is None:
-            self.connect()
+    def _recv_response(self) -> dict:
+        """One response frame, with transport faults normalized."""
         try:
-            send_frame(self._sock, payload)
             response = recv_frame(self._sock)
         except socket.timeout:
             self.close()
@@ -97,17 +107,34 @@ class ServiceClient:
             ) from None
         except ProtocolError as exc:
             self.close()
-            raise ServiceError(f"protocol error: {exc}") from None
+            raise ServiceProtocolError(
+                f"protocol error from {self.address}: {exc}"
+            ) from None
         except OSError as exc:
             self.close()
             raise ServiceError(f"transport error: {exc}") from None
         if response is None:
             self.close()
-            raise ServiceError("server closed the connection mid-request")
+            raise ServiceProtocolError(
+                f"{self.address} closed the connection mid-request"
+            )
         if not isinstance(response, dict):
             self.close()
-            raise ServiceError("server sent a non-object response")
+            raise ServiceProtocolError(
+                f"{self.address} sent a non-object response"
+            )
         return response
+
+    def request(self, payload: dict) -> dict:
+        """Send one frame, receive one frame."""
+        if self._sock is None:
+            self.connect()
+        try:
+            send_frame(self._sock, payload)
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"transport error: {exc}") from None
+        return self._recv_response()
 
     # -- request helpers -----------------------------------------------------
     def submit(
@@ -147,6 +174,61 @@ class ServiceClient:
             payload["trace"] = True
             payload["trace_id"] = trace_id or new_trace_id()
         return self.request(payload)
+
+    def submit_stream(
+        self,
+        kind: str,
+        *,
+        on_partial=None,
+        workload: str | None = None,
+        scale: int = 1,
+        source: str | None = None,
+        fidelity: str | None = None,
+        params: dict | None = None,
+        cache: bool = True,
+        deadline_s: float | None = None,
+    ) -> tuple[dict, list]:
+        """Submit with ``stream: true``; returns ``(response, ops)``.
+
+        ``ops`` is the list of partial-result ops received before the
+        terminal frame, already deduplicated server-side — folding them
+        through :func:`~repro.service.protocol.reassemble` reproduces
+        ``response["result"]`` byte for byte.  ``on_partial(seq, op)``
+        (when given) fires as each partial frame arrives, which is the
+        point of streaming: consumers render slice rows / attack alerts
+        while the job is still running.  Against a server or job shape
+        that emits no partials (cache hit, rejection, control-plane
+        degradation) ``ops`` is empty and the terminal frame is the
+        whole answer — byte-identical to a blocking :meth:`submit`.
+        """
+        payload: dict = {"kind": kind, "scale": scale, "cache": cache, "stream": True}
+        if workload is not None:
+            payload["workload"] = workload
+        if source is not None:
+            payload["source"] = source
+        if fidelity is not None:
+            payload["fidelity"] = fidelity
+        if params:
+            payload["params"] = params
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if self._sock is None:
+            self.connect()
+        try:
+            send_frame(self._sock, payload)
+        except OSError as exc:
+            self.close()
+            raise ServiceError(f"transport error: {exc}") from None
+        ops: list = []
+        while True:
+            frame = self._recv_response()
+            if frame.get("status") == "partial":
+                op = frame.get("op") or {}
+                ops.append(op)
+                if on_partial is not None:
+                    on_partial(int(frame.get("seq") or 0), op)
+                continue
+            return frame, ops
 
     def submit_traced(self, kind: str, *, trace_path=None, **kwargs) -> tuple[dict, dict]:
         """Submit with tracing on; returns ``(response, chrome_trace)``.
@@ -216,4 +298,9 @@ def wait_until_ready(
     raise ServiceError(f"service at {address} not ready after {timeout_s}s ({last_error})")
 
 
-__all__ = ["ServiceClient", "ServiceError", "wait_until_ready"]
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceProtocolError",
+    "wait_until_ready",
+]

@@ -243,12 +243,34 @@ def _execute_trace(payload: dict, telemetry=None) -> dict:
     }
 
 
-def _execute_slice(payload: dict, telemetry=None) -> dict:
+#: swallow-everything emitter: the blocking paths are the streaming
+#: paths with the partial frames dropped, so bit-identity of streamed
+#: vs blocking results is structural, not hoped-for.
+def _no_emit(op: dict) -> None:
+    return None
+
+
+def _stream_chunk() -> int:
+    from .. import fastpath
+
+    return fastpath.stream_chunk_rows()
+
+
+def _emit_chunks(emit, path: str, items: list) -> None:
+    """Append ``items`` at dotted ``path`` in bounded row chunks."""
+    chunk = _stream_chunk()
+    for i in range(0, len(items), chunk):
+        emit({"append": {path: items[i : i + chunk]}})
+
+
+def _execute_slice(payload: dict, telemetry=None, emit=_no_emit) -> dict:
     compiled, _, inputs = _resolve_program("slice", payload)
     params = payload.get("params") or {}
     runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
     _, tracer, result = runner.run_traced(config)
+    run_section = {"status": result.status.value, "instructions": result.instructions}
+    emit({"set": {"run": run_section}})
     ddg = tracer.dependence_graph()
     line = params.get("line")
     criterion = None
@@ -269,22 +291,36 @@ def _execute_slice(payload: dict, telemetry=None) -> dict:
             raise ProtocolError("empty trace window: nothing to slice")
         criterion = max(seqs)
     sl = backward_slice(ddg, criterion)
+    pcs = sorted(sl.pcs)
+    lines = sorted(sl.statement_lines(compiled))
+    emit({"set": {
+        "slice.criterion_seq": criterion,
+        "slice.instances": len(sl.seqs),
+        "slice.truncated": sl.truncated,
+        "slice.pcs": [],
+        "slice.lines": [],
+    }})
+    # The slice body streams as bounded row chunks — the service's
+    # long-tail payload (thousands of pcs/lines on big windows) reaches
+    # the client incrementally instead of as one terminal blob.
+    _emit_chunks(emit, "slice.pcs", pcs)
+    _emit_chunks(emit, "slice.lines", lines)
     # Repeated criteria over one window are the service's hot query
     # pattern; queries here run per-job, while *cross*-job reuse is the
     # server-side result cache's business.
     return {
-        "run": {"status": result.status.value, "instructions": result.instructions},
+        "run": run_section,
         "slice": {
             "criterion_seq": criterion,
             "instances": len(sl.seqs),
-            "pcs": sorted(sl.pcs),
-            "lines": sorted(sl.statement_lines(compiled)),
+            "pcs": pcs,
+            "lines": lines,
             "truncated": sl.truncated,
         },
     }
 
 
-def _execute_attack(payload: dict, fidelity: str, telemetry=None) -> dict:
+def _execute_attack(payload: dict, fidelity: str, telemetry=None, emit=_no_emit) -> dict:
     compiled, source, inputs = _resolve_program("attack", payload)
     params = payload.get("params") or {}
     runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
@@ -297,6 +333,10 @@ def _execute_attack(payload: dict, fidelity: str, telemetry=None) -> dict:
         sinks.append(SinkRule(kind="out", channels=None))
     engine = DIFTEngine(policy, sinks=sinks).attach(machine)
     result = machine.run(max_instructions=runner.max_instructions)
+    run_section = _run_summary(result, machine)
+    policy_name = "pc" if fidelity == FIDELITY_FULL else "bool"
+    emit({"set": {"run": run_section,
+                  "attack.policy": policy_name, "attack.alerts": []}})
     alerts = []
     for alert in engine.alerts:
         entry = {"seq": alert.seq, "pc": alert.pc, "message": str(alert)}
@@ -304,17 +344,21 @@ def _execute_attack(payload: dict, fidelity: str, telemetry=None) -> dict:
             line = compiled.line_of(alert.label) if isinstance(alert.label, int) else 0
             entry["root_cause_line"] = line
         alerts.append(entry)
+        # One frame per verdict: a monitoring client reacts to the first
+        # alert while the rest of the report is still being assembled.
+        emit({"append": {"attack.alerts": [entry]}})
+    emit({"set": {"attack.detected": bool(alerts)}})
     return {
-        "run": _run_summary(result, machine),
+        "run": run_section,
         "attack": {
-            "policy": "pc" if fidelity == FIDELITY_FULL else "bool",
+            "policy": policy_name,
             "detected": bool(alerts),
             "alerts": alerts,
         },
     }
 
 
-def _execute_lineage(payload: dict, telemetry=None) -> dict:
+def _execute_lineage(payload: dict, telemetry=None, emit=_no_emit) -> dict:
     from ..apps.lineage import LineageTracer
 
     compiled, _, inputs = _resolve_program("lineage", payload)
@@ -322,22 +366,29 @@ def _execute_lineage(payload: dict, telemetry=None) -> dict:
     runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     tracer = LineageTracer(representation=params.get("representation", "robdd"))
     trace = tracer.trace(runner, output_channel=int(params.get("channel", 1)))
+    run_section = {
+        "status": trace.result.status.value,
+        "instructions": trace.result.instructions,
+    }
+    emit({"set": {"run": run_section,
+                  "lineage.representation": trace.store_name,
+                  "lineage.outputs": []}})
+    outputs = []
+    for o in trace.outputs:
+        entry = {
+            "position": o.position,
+            "channel": o.channel,
+            "value": o.value,
+            "inputs": sorted(o.inputs),
+        }
+        outputs.append(entry)
+        emit({"append": {"lineage.outputs": [entry]}})
+    emit({"set": {"lineage.union_cycles": trace.union_cycles}})
     return {
-        "run": {
-            "status": trace.result.status.value,
-            "instructions": trace.result.instructions,
-        },
+        "run": run_section,
         "lineage": {
             "representation": trace.store_name,
-            "outputs": [
-                {
-                    "position": o.position,
-                    "channel": o.channel,
-                    "value": o.value,
-                    "inputs": sorted(o.inputs),
-                }
-                for o in trace.outputs
-            ],
+            "outputs": outputs,
             "union_cycles": trace.union_cycles,
         },
     }
@@ -366,6 +417,42 @@ def _execute_chaos(payload: dict) -> dict:
     raise ProtocolError(f"unknown chaos mode {mode!r}")
 
 
+def _emit_sections(emit, body: dict) -> None:
+    """Stream a body's top-level sections as one set op apiece."""
+    if emit is _no_emit:
+        return
+    for section, value in body.items():
+        emit({"set": {section: value}})
+
+
+def _execute(payload: dict, telemetry, emit) -> dict:
+    kind = payload["kind"]
+    fidelity = payload.get("fidelity", FIDELITY_FULL)
+    emit({"set": {"kind": kind, "fidelity": fidelity}})
+    if kind == CHAOS_KIND:
+        body = _execute_chaos(payload)
+        _emit_sections(emit, body)
+    elif fidelity == FIDELITY_LOG:
+        body = _execute_log(payload, telemetry)
+        _emit_sections(emit, body)
+    elif kind == "trace":
+        body = (
+            _execute_dift_stats(payload, telemetry)
+            if fidelity == FIDELITY_DIFT
+            else _execute_trace(payload, telemetry)
+        )
+        _emit_sections(emit, body)
+    elif kind == "slice":
+        body = _execute_slice(payload, telemetry, emit)
+    elif kind == "attack":
+        body = _execute_attack(payload, fidelity, telemetry, emit)
+    elif kind == "lineage":
+        body = _execute_lineage(payload, telemetry, emit)
+    else:  # pragma: no cover - resolve_spec guards this
+        raise ProtocolError(f"unknown job kind {kind!r}")
+    return {"kind": kind, "fidelity": fidelity, **body}
+
+
 def execute_job(payload: dict, telemetry=None) -> dict:
     """Run one worker-form job payload to completion (pure, in-process).
 
@@ -377,27 +464,22 @@ def execute_job(payload: dict, telemetry=None) -> dict:
     (the traced-execution path uses its span tracer); it never changes
     the result payload, so cached results stay bit-identical.
     """
-    kind = payload["kind"]
-    fidelity = payload.get("fidelity", FIDELITY_FULL)
-    if kind == CHAOS_KIND:
-        body = _execute_chaos(payload)
-    elif fidelity == FIDELITY_LOG:
-        body = _execute_log(payload, telemetry)
-    elif kind == "trace":
-        body = (
-            _execute_dift_stats(payload, telemetry)
-            if fidelity == FIDELITY_DIFT
-            else _execute_trace(payload, telemetry)
-        )
-    elif kind == "slice":
-        body = _execute_slice(payload, telemetry)
-    elif kind == "attack":
-        body = _execute_attack(payload, fidelity, telemetry)
-    elif kind == "lineage":
-        body = _execute_lineage(payload, telemetry)
-    else:  # pragma: no cover - resolve_spec guards this
-        raise ProtocolError(f"unknown job kind {kind!r}")
-    return {"kind": kind, "fidelity": fidelity, **body}
+    return _execute(payload, telemetry, _no_emit)
+
+
+def execute_job_stream(payload: dict, emit, telemetry=None) -> dict:
+    """Run one job, emitting partial-result ops as stages complete.
+
+    ``emit`` receives :func:`repro.service.protocol.apply_stream_op`
+    ops — section sets as each execution stage lands, then row chunks
+    (slice pcs/lines) or per-item frames (attack alerts, lineage
+    outputs) for the long-tail payloads.  Returns the same result
+    envelope :func:`execute_job` does; the blocking path *is* this path
+    with the emits dropped, so reassembling every emitted op yields the
+    returned envelope exactly (``tests/test_aserver.py`` proves it per
+    job kind).
+    """
+    return _execute(payload, telemetry, emit)
 
 
 #: engine (cycle-clock) spans shipped per traced job, at most.
@@ -454,6 +536,7 @@ __all__ = [
     "MAX_ENGINE_SPANS",
     "cache_key",
     "execute_job",
+    "execute_job_stream",
     "execute_job_traced",
     "program_key",
     "resolve_spec",

@@ -37,7 +37,7 @@ from collections import deque
 
 from ..telemetry import LATENCY_BUCKETS_S, NULL_REGISTRY
 from ..telemetry.obs import wall_now_us
-from .jobs import JobSpec, execute_job, execute_job_traced, program_key
+from .jobs import JobSpec, execute_job, execute_job_stream, execute_job_traced, program_key
 from .observe import NULL_OBSERVABILITY
 from .protocol import STATUS_ERROR, STATUS_OK, STATUS_TIMEOUT
 
@@ -59,12 +59,20 @@ def _worker_main(conn) -> None:
                 break
             if payload is None:
                 break
-            # "_trace" is transport metadata the server attaches for
-            # traced jobs, never part of the spec (or the cache key).
+            # "_trace" / "_stream" are transport metadata the server
+            # attaches per job, never part of the spec (or cache key).
             trace_id = payload.pop("_trace", None) if isinstance(payload, dict) else None
+            stream = bool(payload.pop("_stream", None)) if isinstance(payload, dict) else False
             try:
                 if trace_id:
+                    # Traced jobs ship spans in the terminal result;
+                    # tracing and streaming are mutually exclusive
+                    # (the server never sets both).
                     result = execute_job_traced(payload, trace_id)
+                elif stream:
+                    result = execute_job_stream(
+                        payload, lambda op: conn.send(("partial", op))
+                    )
                 else:
                     result = execute_job(payload)
                 verdict = ("ok", result)
@@ -94,6 +102,20 @@ class Job:
         #: distributed-tracing state: empty trace_id = untraced job.
         self.trace_id = ""
         self.worker_events: list[dict] = []
+        #: streaming state: ``stream`` marks the worker payload,
+        #: ``partial_cb(seq, op)`` is invoked on the slot thread for
+        #: every partial the worker ships.  ``partial_seq`` restarts at
+        #: 0 on every execution attempt, so a consumer that drops
+        #: ``seq <= last seen`` gets exactly-once partials across
+        #: crash-retries (execution is deterministic: a retried attempt
+        #: replays an identical prefix).
+        self.stream = False
+        self.partial_cb = None
+        self.partial_seq = 0
+        self.partials_delivered = 0
+        #: invoked (on the finishing thread) right after ``event`` is
+        #: set — the async server's loop-wakeup seam.
+        self.done_cb = None
         now = time.monotonic()
         self.t_submit = now
         self.w_submit = wall_now_us()
@@ -113,6 +135,23 @@ class Job:
         self.result = result
         self.error = error
         self.event.set()
+        callback = self.done_cb
+        if callback is not None:
+            try:
+                callback()
+            except Exception:  # pragma: no cover - callback owner's bug
+                pass
+
+    def deliver_partial(self, op: dict) -> None:
+        """Forward one worker partial to the registered consumer."""
+        self.partial_seq += 1
+        self.partials_delivered += 1
+        callback = self.partial_cb
+        if callback is not None:
+            try:
+                callback(self.partial_seq, op)
+            except Exception:  # pragma: no cover - callback owner's bug
+                pass
 
     @property
     def expired(self) -> bool:
@@ -225,6 +264,8 @@ class WorkerPool:
 
     def submit(self, job: Job) -> None:
         """Route to the job's shard (dead shards fall to the next slot)."""
+        if job.stream:
+            job.payload["_stream"] = True
         shard = hash(job.shard_key) % self.workers
         with self._cond:
             if not self._running:
@@ -305,6 +346,10 @@ class WorkerPool:
                     registry.counter("service.jobs.failed").inc()
                     return
             job.attempts += 1
+            # Restart the partial numbering per attempt: a crash-retried
+            # stream replays its (deterministic) prefix, and consumers
+            # drop seqs they have already seen.
+            job.partial_seq = 0
             job.t_start = job.t_start or time.monotonic()
             job.w_start = job.w_start or wall_now_us()
             try:
@@ -343,6 +388,12 @@ class WorkerPool:
                 except (EOFError, OSError):
                     self._note_crash(slot)
                     return "retry"
+                if status == "partial":
+                    # An incremental frame of a streamed job — forward
+                    # and keep waiting for the terminal verdict.
+                    registry.counter("service.stream.partials").inc()
+                    job.deliver_partial(body)
+                    continue
                 slot.consecutive_respawns = 0
                 slot.jobs_done += 1
                 if status == "ok":

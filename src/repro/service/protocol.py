@@ -22,7 +22,22 @@ Response ``status`` values:
 ``timeout``     the per-job deadline expired; the worker was cancelled
 ``error``       the job failed (bad spec, compile error, worker crash
                 after retry); ``error`` holds a one-line message
+``partial``     one incremental frame of a streamed job (``stream:
+                true`` requests against the async server); carries an
+                ``op`` to fold into the result under construction.
+                The terminal frame of a streamed job is a normal
+                ``ok``/``degraded``/... frame, byte-identical to the
+                blocking response
 ==============  =====================================================
+
+**Streamed partial ops.**  A streaming job's partial frames each carry
+one *op* — ``{"set": {key: value, ...}}`` merges sections into the
+result under construction (dotted keys address nested objects),
+``{"append": {key: [items]}}`` extends a list at a dotted key.
+:func:`apply_stream_op` / :func:`reassemble` fold them back into the
+full result dict, and the contract (proven per job kind by
+``tests/test_aserver.py``) is that reassembling every partial op yields
+the terminal frame's ``result`` byte for byte.
 """
 
 from __future__ import annotations
@@ -42,9 +57,15 @@ STATUS_DEGRADED = "degraded"
 STATUS_REJECTED = "rejected"
 STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
+STATUS_PARTIAL = "partial"
 
 #: statuses that carry a ``result`` payload.
 RESULT_STATUSES = (STATUS_OK, STATUS_DEGRADED)
+
+#: statuses that end a streamed exchange (everything but ``partial``).
+TERMINAL_STATUSES = (
+    STATUS_OK, STATUS_DEGRADED, STATUS_REJECTED, STATUS_TIMEOUT, STATUS_ERROR
+)
 
 
 class ProtocolError(Exception):
@@ -83,7 +104,10 @@ def recv_frame(sock: socket.socket):
     header = _recv_exact(sock, _LEN.size)
     if header is None:
         return None
-    (length,) = _LEN.unpack(header)
+    try:
+        (length,) = _LEN.unpack(header)
+    except struct.error as exc:  # pragma: no cover - _recv_exact guards size
+        raise ProtocolError(f"malformed frame header: {exc}") from None
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})")
     payload = _recv_exact(sock, length)
@@ -93,6 +117,52 @@ def recv_frame(sock: socket.socket):
         return json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"undecodable frame: {exc}") from None
+
+
+class FrameAssembler:
+    """Transport-free incremental frame parser.
+
+    Feed it raw bytes from *any* source — a socket the threaded server
+    polls, an :mod:`asyncio` stream the async front door reads, a
+    router's backend connection — and pull decoded frames out.  This is
+    the single place header parsing and payload decoding happen, so
+    every transport shares one set of :class:`ProtocolError` messages
+    (a corrupt header can never surface as a raw ``struct.error``).
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame (0 = at a boundary)."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def next_frame(self):
+        """Decode and pop one buffered frame, or None if incomplete."""
+        buf = self._buf
+        if len(buf) < _LEN.size:
+            return None
+        try:
+            (length,) = _LEN.unpack(bytes(buf[: _LEN.size]))
+        except struct.error as exc:  # pragma: no cover - length checked above
+            raise ProtocolError(f"malformed frame header: {exc}") from None
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
+            )
+        end = _LEN.size + length
+        if len(buf) < end:
+            return None
+        payload = bytes(buf[_LEN.size : end])
+        del buf[:end]
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable frame: {exc}") from None
 
 
 #: FrameReader.poll verdicts.
@@ -112,12 +182,12 @@ class FrameReader:
 
     def __init__(self, sock: socket.socket):
         self._sock = sock
-        self._buf = bytearray()
+        self._assembler = FrameAssembler()
 
     def poll(self, timeout_s: float):
         """Try to read one frame; returns (FRAME, obj) | (PENDING, None)
         | (EOF, None).  Raises ProtocolError on malformed input."""
-        frame = self._extract()
+        frame = self._assembler.next_frame()
         if frame is not None:
             return FRAME, frame
         self._sock.settimeout(timeout_s)
@@ -128,38 +198,73 @@ class FrameReader:
         finally:
             self._sock.settimeout(None)
         if not chunk:
-            if self._buf:
+            if self._assembler.pending_bytes:
                 raise ProtocolError("connection closed mid-frame")
             return EOF, None
-        self._buf.extend(chunk)
-        frame = self._extract()
+        self._assembler.feed(chunk)
+        frame = self._assembler.next_frame()
         if frame is None:
             return PENDING, None
         return FRAME, frame
 
-    def _extract(self):
-        buf = self._buf
-        if len(buf) < _LEN.size:
-            return None
-        (length,) = _LEN.unpack(bytes(buf[: _LEN.size]))
-        if length > MAX_FRAME_BYTES:
-            raise ProtocolError(
-                f"peer announced a {length}-byte frame (cap {MAX_FRAME_BYTES})"
-            )
-        end = _LEN.size + length
-        if len(buf) < end:
-            return None
-        payload = bytes(buf[_LEN.size : end])
-        del buf[:end]
-        try:
-            return json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ProtocolError(f"undecodable frame: {exc}") from None
+
+# ---------------------------------------------------------------------------
+# Streamed-result reassembly
+# ---------------------------------------------------------------------------
+def _dig(result: dict, dotted: str) -> tuple[dict, str]:
+    """Walk dotted path segments, creating nested dicts; returns
+    (owning dict, final key)."""
+    node = result
+    parts = dotted.split(".")
+    for part in parts[:-1]:
+        nxt = node.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            node[part] = nxt
+        node = nxt
+    return node, parts[-1]
+
+
+def apply_stream_op(result: dict, op: dict) -> dict:
+    """Fold one partial frame's op into the result under construction.
+
+    ``{"set": {path: value}}`` assigns (dotted paths nest);
+    ``{"append": {path: [items]}}`` extends the list at the path
+    (created empty on first append).  Mutates and returns ``result``.
+    """
+    if not isinstance(op, dict):
+        raise ProtocolError("stream op must be a JSON object")
+    for dotted, value in (op.get("set") or {}).items():
+        node, key = _dig(result, dotted)
+        node[key] = value
+    for dotted, items in (op.get("append") or {}).items():
+        node, key = _dig(result, dotted)
+        bucket = node.get(key)
+        if bucket is None:
+            bucket = []
+            node[key] = bucket
+        if not isinstance(bucket, list):
+            raise ProtocolError(f"stream op appends to non-list at {dotted!r}")
+        bucket.extend(items)
+    return result
+
+
+def reassemble(ops: list) -> dict:
+    """Fold a streamed job's partial ops into the full result dict.
+
+    The async server guarantees the reassembly of every partial op
+    equals the terminal frame's ``result`` byte for byte.
+    """
+    result: dict = {}
+    for op in ops:
+        apply_stream_op(result, op)
+    return result
 
 
 __all__ = [
     "EOF",
     "FRAME",
+    "FrameAssembler",
     "FrameReader",
     "MAX_FRAME_BYTES",
     "PENDING",
@@ -168,9 +273,13 @@ __all__ = [
     "STATUS_DEGRADED",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_PARTIAL",
     "STATUS_REJECTED",
     "STATUS_TIMEOUT",
+    "TERMINAL_STATUSES",
+    "apply_stream_op",
     "encode",
+    "reassemble",
     "recv_frame",
     "send_frame",
 ]

@@ -1,5 +1,15 @@
 """The analysis daemon: accept loop, admission, dispatch, responses.
 
+The transport-independent heart of the daemon lives in
+:class:`ServiceCore`: admission -> cache -> pool dispatch, plus the
+health/stats/metrics introspection bodies.  Two front doors wrap one
+core — the threaded :class:`AnalysisServer` here (handler thread per
+connection, blocking waits) and the event-loop
+:class:`~repro.service.aserver.AsyncAnalysisServer` (coroutine per
+connection, streamed partial results).  Both speak the identical frame
+protocol against the identical pool; the core is the seam that keeps
+their responses byte-identical.
+
 One :class:`AnalysisServer` owns a listening socket (Unix-domain by
 default, TCP when given a port), an :class:`~repro.service.admission.AdmissionController`,
 a :class:`~repro.service.cache.ResultCache` and a
@@ -25,14 +35,14 @@ import os
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .. import fastpath
 from ..telemetry import MetricsRegistry
 from ..telemetry.obs import latency_summary, new_trace_id, render_prometheus, wall_now_us
 from .admission import ACTION_ADMIT, AdmissionController
 from .cache import ResultCache
-from .jobs import cache_key, resolve_spec
+from .jobs import JobSpec, cache_key, resolve_spec
 from .observe import NULL_OBSERVABILITY, ServiceObservability
 from .pool import Job, WorkerPool
 from .protocol import (
@@ -43,6 +53,7 @@ from .protocol import (
     STATUS_DEGRADED,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_PARTIAL,
     STATUS_REJECTED,
     send_frame,
 )
@@ -85,12 +96,47 @@ class ServiceConfig:
         return f"unix://{self.socket_path}"
 
 
-class AnalysisServer:
-    """The DIFT-as-a-service daemon; see the module docstring."""
+@dataclass
+class PreparedJob:
+    """An admitted, cache-missed job ready for pool submission."""
+
+    spec: JobSpec
+    key: str
+    degraded: bool
+    reason: str
+    deadline_s: float
+    t0: float = field(default=0.0)
+
+    @property
+    def grace_deadline_s(self) -> float:
+        """How long a front door may wait before declaring the job lost."""
+        return self.deadline_s + _GRACE_S
+
+
+class ServiceCore:
+    """Transport-independent daemon core: admission -> cache -> pool.
+
+    Owns the registry, admission controller, result cache, observability
+    seam and worker pool, and exposes the job pipeline as three steps a
+    front door calls around its own waiting primitive:
+
+    ``prepare(request)``
+        runs admission and the cache probe; returns either a finished
+        response (rejected, or cache hit) or a :class:`PreparedJob`.
+    ``make_job(prepared, ...)``
+        builds the pool :class:`~repro.service.pool.Job`, wiring
+        streaming/completion callbacks for async callers.
+    ``finish(prepared, job)`` / ``lost_response()``
+        folds the completed (or lost) job into the wire response,
+        populating the cache on success.
+
+    The threaded server blocks on ``job.event`` between steps two and
+    three; the async server awaits an ``asyncio`` event poked by the
+    job's ``done_cb``.  Everything else — and therefore every response
+    byte — is shared.
+    """
 
     def __init__(self, config: ServiceConfig, registry: MetricsRegistry | None = None):
-        if (config.socket_path is None) == (config.port is None):
-            raise ValueError("configure exactly one of socket_path or port")
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry(enabled=True)
         self.admission = AdmissionController(
@@ -112,157 +158,29 @@ class AnalysisServer:
             respawn_limit=config.respawn_limit,
             obs=self.obs,
         )
-        self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
-        self._conn_threads: list[threading.Thread] = []
-        self._running = False
         self._started_at = 0.0
-        self._shutdown_requested = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
-    def start(self) -> "AnalysisServer":
-        """Bind, start the pool, and begin accepting (non-blocking)."""
-        config = self.config
-        if config.port is not None:
-            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            listener.bind((config.host, config.port))
-            if config.port == 0:  # ephemeral: record what the OS picked
-                config.port = listener.getsockname()[1]
-        else:
-            with contextlib.suppress(FileNotFoundError):
-                os.unlink(config.socket_path)
-            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            listener.bind(config.socket_path)
-        listener.listen(64)
-        listener.settimeout(0.2)
-        self._listener = listener
-        self._running = True
+    def start(self) -> None:
+        """Start observability and the pool (the front door binds first,
+        so ``server.start`` records the resolved address)."""
         self._started_at = time.monotonic()
         self.obs.start()
-        self.obs.event("server.start", address=config.address(),
-                       workers=config.workers, capacity=config.queue_capacity)
-        self.pool.start()
-        self.registry.gauge("service.workers").set(config.workers)
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="service-accept", daemon=True
+        self.obs.event(
+            "server.start", address=self.config.address(),
+            workers=self.config.workers, capacity=self.config.queue_capacity,
         )
-        self._accept_thread.start()
-        return self
-
-    def serve_forever(self) -> None:
-        """Block until :meth:`stop` or a ``shutdown`` request."""
-        if not self._running:
-            self.start()
-        try:
-            while self._running and not self._shutdown_requested.wait(timeout=0.2):
-                pass
-        finally:
-            self.stop()
+        self.pool.start()
+        self.registry.gauge("service.workers").set(self.config.workers)
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, stop the pool, unlink."""
-        if not self._running:
-            return
-        self._running = False
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-        if self._listener is not None:
-            self._listener.close()
-            self._listener = None
-        for thread in list(self._conn_threads):
-            thread.join(timeout=2.0)
         self.pool.stop()
         self.obs.event("server.stop")
         self.obs.stop()
-        if self.config.socket_path:
-            with contextlib.suppress(OSError):
-                os.unlink(self.config.socket_path)
 
-    def __enter__(self) -> "AnalysisServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    # -- accept/handler threads ----------------------------------------------
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                conn, _ = self._listener.accept()
-            except socket.timeout:
-                continue
-            except OSError:
-                return
-            thread = threading.Thread(
-                target=self._handle_connection, args=(conn,), daemon=True
-            )
-            self._conn_threads.append(thread)
-            thread.start()
-            self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
-
-    def _handle_connection(self, conn: socket.socket) -> None:
-        reader = FrameReader(conn)
-        with contextlib.closing(conn):
-            while self._running:
-                try:
-                    state, request = reader.poll(timeout_s=0.5)
-                    if state == EOF:
-                        return  # client closed cleanly
-                    if state != FRAME:
-                        continue  # idle poll tick; partial frames are buffered
-                    response = self._dispatch(request)
-                    send_frame(conn, response)
-                    if isinstance(request, dict) and request.get("kind") == "shutdown":
-                        self._shutdown_requested.set()
-                        return
-                except ProtocolError as exc:
-                    with contextlib.suppress(OSError):
-                        send_frame(conn, {"status": STATUS_ERROR, "error": str(exc)})
-                    return
-                except OSError:
-                    return
-
-    # -- request dispatch ----------------------------------------------------
-    def _dispatch(self, request) -> dict:
-        if not isinstance(request, dict):
-            raise ProtocolError("request must be a JSON object")
-        kind = request.get("kind")
-        if kind == "stats":
-            return {"status": STATUS_OK, "stats": self.stats()}
-        if kind == "health":
-            return {"status": STATUS_OK, "health": self.health()}
-        if kind == "metrics":
-            return {
-                "status": STATUS_OK,
-                "metrics": self.metrics(dump=bool(request.get("dump"))),
-            }
-        if kind == "shutdown":
-            return {"status": STATUS_OK, "shutting_down": True}
-        return self._dispatch_job(request)
-
-    def _dispatch_job(self, request: dict) -> dict:
-        w0 = wall_now_us()
-        # Per-job tracing is request opt-in ("trace": true) *and* gated
-        # on the daemon's observability seam; trace keys are transport
-        # metadata resolve_spec ignores, so cache keys never see them.
-        want_trace = bool(request.get("trace")) and self.obs.enabled
-        trace_id = ""
-        if want_trace:
-            trace_id = str(request.get("trace_id") or "") or new_trace_id()
-        response, worker_events = self._admit_and_run(request, trace_id)
-        if want_trace:
-            self.obs.span_at(
-                "server.handle", w0, wall_now_us() - w0,
-                trace_id=trace_id, status=response.get("status"),
-            )
-            response["trace"] = {
-                "trace_id": trace_id,
-                "events": self.obs.trace_events(trace_id) + list(worker_events),
-            }
-        return response
-
-    def _admit_and_run(self, request: dict, trace_id: str) -> tuple[dict, list]:
+    # -- job pipeline --------------------------------------------------------
+    def prepare(self, request: dict, trace_id: str = "") -> tuple[dict | None, PreparedJob | None]:
+        """Admission + cache probe; (response, None) or (None, prepared)."""
         registry = self.registry
         registry.counter("service.jobs.received").inc()
         t0 = time.monotonic()
@@ -288,7 +206,7 @@ class AnalysisServer:
                 "status": STATUS_REJECTED,
                 "reason": decision.reason,
                 "retry_after_s": 0.5,
-            }, []
+            }, None
         degraded = decision.degraded
         spec.fidelity = decision.fidelity
         if degraded:
@@ -303,32 +221,47 @@ class AnalysisServer:
                     self.obs.instant_at(
                         "server.cache_hit", wall_now_us(), trace_id=trace_id
                     )
-                return self._job_response(
+                return self.job_response(
                     cached, degraded, decision.reason, cached=True, t0=t0
-                ), []
+                ), None
 
         deadline = spec.deadline_s or self.config.default_deadline_s
-        job = Job(spec, key, deadline_s=deadline)
-        job.degraded = degraded
-        job.degrade_reason = decision.reason
+        return None, PreparedJob(spec, key, degraded, decision.reason, deadline, t0)
+
+    def make_job(
+        self, prepared: PreparedJob, trace_id: str = "",
+        stream: bool = False, partial_cb=None, done_cb=None,
+    ) -> Job:
+        """Build the pool job, wiring streaming/completion callbacks."""
+        job = Job(prepared.spec, prepared.key, deadline_s=prepared.deadline_s)
+        job.degraded = prepared.degraded
+        job.degrade_reason = prepared.reason
         if trace_id:
             job.trace_id = trace_id
             job.payload["_trace"] = trace_id
-        self.pool.submit(job)
-        if not job.event.wait(timeout=deadline + _GRACE_S):
-            # The pool should have timed the job out itself; this is the
-            # handler's own never-hang guarantee.
-            registry.counter("service.jobs.lost").inc()
-            return {"status": STATUS_ERROR, "error": "job lost by the pool"}, []
-        if job.status == STATUS_OK:
-            if spec.cache and job.result is not None:
-                self.cache.put(key, job.result)
-            return self._job_response(
-                job.result, degraded, decision.reason, t0=t0
-            ), job.worker_events
-        return {"status": job.status, "error": job.error}, job.worker_events
+        if stream:
+            job.stream = True
+            job.partial_cb = partial_cb
+        job.done_cb = done_cb
+        return job
 
-    def _job_response(
+    def finish(self, prepared: PreparedJob, job: Job) -> dict:
+        """Fold a completed job into its response (caching on success)."""
+        if job.status == STATUS_OK:
+            if prepared.spec.cache and job.result is not None:
+                self.cache.put(prepared.key, job.result)
+            return self.job_response(
+                job.result, prepared.degraded, prepared.reason, t0=prepared.t0
+            )
+        return {"status": job.status, "error": job.error}
+
+    def lost_response(self) -> dict:
+        """A job the pool never finished (the front door's never-hang
+        guarantee fired past deadline + grace)."""
+        self.registry.counter("service.jobs.lost").inc()
+        return {"status": STATUS_ERROR, "error": "job lost by the pool"}
+
+    def job_response(
         self, result: dict, degraded: bool, reason: str, cached: bool = False,
         t0: float = 0.0,
     ) -> dict:
@@ -390,4 +323,211 @@ class AnalysisServer:
         return payload
 
 
-__all__ = ["AnalysisServer", "DEFAULT_DEADLINE_S", "ServiceConfig"]
+class AnalysisServer:
+    """The threaded DIFT-as-a-service daemon; see the module docstring."""
+
+    def __init__(self, config: ServiceConfig, registry: MetricsRegistry | None = None):
+        if (config.socket_path is None) == (config.port is None):
+            raise ValueError("configure exactly one of socket_path or port")
+        self.config = config
+        self.core = ServiceCore(config, registry=registry)
+        # Component attributes stay addressable on the server itself
+        # (tests and the CLI reach for server.pool / server.obs / ...).
+        self.registry = self.core.registry
+        self.admission = self.core.admission
+        self.cache = self.core.cache
+        self.obs = self.core.obs
+        self.pool = self.core.pool
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._running = False
+        self._shutdown_requested = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "AnalysisServer":
+        """Bind, start the pool, and begin accepting (non-blocking)."""
+        config = self.config
+        if config.port is not None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((config.host, config.port))
+            if config.port == 0:  # ephemeral: record what the OS picked
+                config.port = listener.getsockname()[1]
+        else:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(config.socket_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(config.socket_path)
+        listener.listen(64)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._running = True
+        self.core.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` or a ``shutdown`` request."""
+        if not self._running:
+            self.start()
+        try:
+            while self._running and not self._shutdown_requested.wait(timeout=0.2):
+                pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, stop the pool, unlink."""
+        if not self._running:
+            return
+        self._running = False
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for thread in list(self._conn_threads):
+            thread.join(timeout=2.0)
+        self.core.stop()
+        if self.config.socket_path:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept/handler threads ----------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            self._conn_threads.append(thread)
+            thread.start()
+            self._conn_threads = [t for t in self._conn_threads if t.is_alive()]
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        reader = FrameReader(conn)
+        with contextlib.closing(conn):
+            while self._running:
+                try:
+                    state, request = reader.poll(timeout_s=0.5)
+                    if state == EOF:
+                        return  # client closed cleanly
+                    if state != FRAME:
+                        continue  # idle poll tick; partial frames are buffered
+                    response = self._dispatch(request, conn)
+                    send_frame(conn, response)
+                    if isinstance(request, dict) and request.get("kind") == "shutdown":
+                        self._shutdown_requested.set()
+                        return
+                except ProtocolError as exc:
+                    with contextlib.suppress(OSError):
+                        send_frame(conn, {"status": STATUS_ERROR, "error": str(exc)})
+                    return
+                except OSError:
+                    return
+
+    # -- request dispatch ----------------------------------------------------
+    def _dispatch(self, request, conn: socket.socket | None = None) -> dict:
+        if not isinstance(request, dict):
+            raise ProtocolError("request must be a JSON object")
+        kind = request.get("kind")
+        if kind == "stats":
+            return {"status": STATUS_OK, "stats": self.stats()}
+        if kind == "health":
+            return {"status": STATUS_OK, "health": self.health()}
+        if kind == "metrics":
+            return {
+                "status": STATUS_OK,
+                "metrics": self.metrics(dump=bool(request.get("dump"))),
+            }
+        if kind == "shutdown":
+            return {"status": STATUS_OK, "shutting_down": True}
+        return self._dispatch_job(request, conn)
+
+    def _dispatch_job(self, request: dict, conn: socket.socket | None = None) -> dict:
+        w0 = wall_now_us()
+        # Per-job tracing is request opt-in ("trace": true) *and* gated
+        # on the daemon's observability seam; trace keys are transport
+        # metadata resolve_spec ignores, so cache keys never see them.
+        want_trace = bool(request.get("trace")) and self.obs.enabled
+        trace_id = ""
+        if want_trace:
+            trace_id = str(request.get("trace_id") or "") or new_trace_id()
+        stream = bool(request.get("stream")) and conn is not None
+        response, worker_events = self._admit_and_run(request, trace_id, stream, conn)
+        if want_trace:
+            self.obs.span_at(
+                "server.handle", w0, wall_now_us() - w0,
+                trace_id=trace_id, status=response.get("status"),
+            )
+            response["trace"] = {
+                "trace_id": trace_id,
+                "events": self.obs.trace_events(trace_id) + list(worker_events),
+            }
+        return response
+
+    def _admit_and_run(
+        self, request: dict, trace_id: str,
+        stream: bool = False, conn: socket.socket | None = None,
+    ) -> tuple[dict, list]:
+        response, prepared = self.core.prepare(request, trace_id)
+        if response is not None:
+            return response, []
+        # Streamed partials are written by the pool slot thread, which
+        # emits every partial strictly before it sets the completion
+        # event the handler thread is parked on — so partial frames and
+        # the terminal frame never interleave on the socket.  seq
+        # restarts per crash-retry attempt; dropping seq <= last-seen
+        # keeps the client's op stream exactly-once (the retried prefix
+        # is a byte-identical replay).
+        partial_cb = None
+        if stream:
+            state = {"last_seq": 0}
+
+            def partial_cb(seq: int, op: dict) -> None:
+                if seq <= state["last_seq"]:
+                    return
+                state["last_seq"] = seq
+                send_frame(conn, {"status": STATUS_PARTIAL, "seq": seq, "op": op})
+
+        job = self.core.make_job(prepared, trace_id, stream=stream, partial_cb=partial_cb)
+        self.pool.submit(job)
+        if not job.event.wait(timeout=prepared.grace_deadline_s):
+            # The pool should have timed the job out itself; this is the
+            # handler's own never-hang guarantee.
+            return self.core.lost_response(), []
+        return self.core.finish(prepared, job), job.worker_events
+
+    # -- introspection -------------------------------------------------------
+    def health(self) -> dict:
+        return self.core.health()
+
+    def stats(self) -> dict:
+        return self.core.stats()
+
+    def metrics(self, dump: bool = False) -> dict:
+        return self.core.metrics(dump=dump)
+
+
+__all__ = [
+    "AnalysisServer",
+    "DEFAULT_DEADLINE_S",
+    "PreparedJob",
+    "ServiceConfig",
+    "ServiceCore",
+]

@@ -236,18 +236,19 @@ def histogram_quantile(hist: dict, q: float) -> float | None:
     return float(bounds[-1])
 
 
-def latency_summary(registry: MetricsRegistry) -> dict:
+def latency_summary(registry: MetricsRegistry, prefix: str = "service") -> dict:
     """p50/p95/p99 latency (ms) + shed/reject rates from live metrics.
 
-    Derived entirely from the ``service.*`` instruments the server and
-    pool already stamp, so it works on any registry snapshot — live over
-    the wire, or post-mortem from a ``stats`` dump.
+    Derived entirely from the ``<prefix>.*`` instruments a tier stamps
+    (``service.*`` for a daemon, ``router.*`` for the router), so it
+    works on any registry snapshot — live over the wire, or post-mortem
+    from a ``stats`` dump.
     """
     flat = registry.flat()
-    received = flat.get("service.jobs.received", 0)
-    degraded = flat.get("service.jobs.degraded", 0)
-    rejected = flat.get("service.jobs.rejected", 0)
-    hist = registry.histograms.get("service.latency.total_s")
+    received = flat.get(f"{prefix}.jobs.received", 0)
+    degraded = flat.get(f"{prefix}.jobs.degraded", 0)
+    rejected = flat.get(f"{prefix}.jobs.rejected", 0)
+    hist = registry.histograms.get(f"{prefix}.latency.total_s")
     quantiles: dict[str, float | None] = {"p50_ms": None, "p95_ms": None, "p99_ms": None}
     if hist is not None:
         data = hist.as_dict()
@@ -256,7 +257,7 @@ def latency_summary(registry: MetricsRegistry) -> dict:
             quantiles[key] = None if value is None else round(value * 1e3, 3)
     return {
         "jobs_received": int(received),
-        "jobs_completed": int(flat.get("service.jobs.completed", 0)),
+        "jobs_completed": int(flat.get(f"{prefix}.jobs.completed", 0)),
         "shed_rate": round(degraded / received, 4) if received else 0.0,
         "reject_rate": round(rejected / received, 4) if received else 0.0,
         **quantiles,

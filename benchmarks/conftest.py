@@ -37,6 +37,15 @@ def write_bench_json(result):
     return path
 
 
+def require_numpy():
+    """Skip (not fail) array-kernel speedup gates on hosts without
+    numpy — the fallback path is correct but cannot beat itself."""
+    from repro import fastpath
+
+    if not fastpath.numpy_available():
+        pytest.skip("numpy unavailable: array kernel falls back to reference")
+
+
 def report(result):
     """Print an ExperimentResult's table + headline (shown with -s / tee)."""
     print()

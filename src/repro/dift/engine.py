@@ -25,13 +25,14 @@ engine on a helper core instead and charges those cycles there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from .. import fastpath
 from ..isa.instructions import Opcode
 from ..vm.errors import AttackDetected
 from ..vm.events import Hook, InstrEvent
 from ..vm.machine import Machine
-from .policy import PCTaintPolicy, TaintPolicy
+from .policy import BoolTaintPolicy, PCTaintPolicy, TaintPolicy
 from .shadow import ShadowState
 
 
@@ -91,6 +92,14 @@ class DIFTEngine(Hook):
     machine's cycle counters unless ``charge_overhead=False`` (the
     multicore simulator disables inline charging and accounts the same
     work on the helper core instead).
+
+    Propagation itself runs through a pluggable kernel
+    (:mod:`repro.dift.kernel`): ``kernel="reference"`` keeps the
+    per-event path below; ``kernel="array"`` (the default when numpy is
+    importable, ``REPRO_FASTPATH_KERNEL`` overrides) packs instruction
+    events into micro-batches of ring-format records and propagates
+    them vectorized, with observables proven bit-identical by the
+    differential suite.
     """
 
     #: cycles for the per-instruction "any operand tainted?" stub.
@@ -104,21 +113,215 @@ class DIFTEngine(Hook):
         propagate_addresses: bool = False,
         charge_overhead: bool = True,
         paged_shadow: bool | None = None,
+        kernel: str | None = None,
+        kernel_batch: int | None = None,
     ):
         self.policy = policy
-        self.shadow = ShadowState(policy, paged=paged_shadow)
+        wants_array = kernel == "array" or (
+            kernel is None and fastpath.current().array_kernel
+        )
+        name = fastpath.propagation_kernel(kernel)
+        self.kernel_fallback: str | None = None
+        if name == "array" and type(policy) not in (BoolTaintPolicy, PCTaintPolicy):
+            # The array kernel encodes labels as int64 scalars; set-based
+            # policies (lineage) stay on the reference kernel.
+            fastpath.note_kernel_fallback("policy", explicit=kernel == "array")
+            name = "reference"
+            self.kernel_fallback = "policy"
+        elif wants_array and name == "reference":
+            self.kernel_fallback = "numpy"  # counted by propagation_kernel
+        #: resolved propagation kernel for this engine ("array"|"reference").
+        self.kernel_name = name
+        self.kernel_batch = fastpath.kernel_batch_size(kernel_batch)
+        self._shadow = ShadowState(policy, paged=paged_shadow, array=name == "array")
         self.source_channels = source_channels
         self.sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
         self.propagate_addresses = propagate_addresses
         self.charge_overhead = charge_overhead
-        self.alerts: list[TaintAlert] = []
-        self.stats = DIFTStats()
+        self._alerts: list[TaintAlert] = []
+        self._stats = DIFTStats()
         self.machine: Machine | None = None
+        # Micro-batching state (installed by attach() for array engines).
+        self._kernel = None
+        self._batch: bytearray | None = None
+        self._skip_cell = [0]
+        self._batch_base = [0]
+        self._fixups: dict[int, int] = {}
 
     def attach(self, machine: Machine) -> "DIFTEngine":
         self.machine = machine
+        # Telemetry-enabled machines stamp cycle totals into trace spans
+        # mid-run; batching defers overhead charging to flush points and
+        # would shift those stamps, so they keep the per-event path
+        # (observables are identical either way — only span timestamps
+        # would move).
+        if self.kernel_name == "array" and not machine.telemetry.enabled:
+            self._enable_batching()
         machine.hooks.subscribe(self)
         return self
+
+    # -- batched views -------------------------------------------------------
+    # The packing closure defers propagation, so every external read of
+    # shadow/stats/alerts drains pending records first.  Per-event
+    # engines have `_batch is None` and skip straight through.
+    @property
+    def shadow(self) -> ShadowState:
+        if self._batch is not None and (self._batch or self._skip_cell[0]):
+            self._flush_batch()
+        return self._shadow
+
+    @property
+    def stats(self) -> DIFTStats:
+        if self._batch is not None and (self._batch or self._skip_cell[0]):
+            self._flush_batch()
+        return self._stats
+
+    @property
+    def alerts(self) -> list[TaintAlert]:
+        if self._batch is not None and (self._batch or self._skip_cell[0]):
+            self._flush_batch()
+        return self._alerts
+
+    def on_run_end(self) -> None:
+        if self._batch is not None and (self._batch or self._skip_cell[0]):
+            self._flush_batch()
+
+    def _enable_batching(self) -> None:
+        from .kernel import (
+            ArrayKernel,
+            K_ALLOC,
+            K_GENERIC,
+            K_IN,
+            K_LOAD,
+            K_SINK,
+            K_SKIP,
+            K_SPAWN,
+            K_STORE,
+            RECORD,
+            _fit,
+            _IO_NONE,
+        )
+
+        kern = ArrayKernel(
+            self.policy,
+            source_channels=self.source_channels,
+            sinks=self.sinks,
+            propagate_addresses=self.propagate_addresses,
+            shadow=self._shadow,
+            stats=self._stats,
+            alerts=self._alerts,
+        )
+        self._kernel = kern
+        batch = bytearray()
+        self._batch = batch
+        skip_cell = self._skip_cell
+        base = self._batch_base
+        fixups = self._fixups
+        flush_bytes = self.kernel_batch * RECORD.size
+        kinds: dict[int, int] = {}
+        raise_pcs: set[int] = set()
+        pack = RECORD.pack
+        extend = batch.extend
+        kget = kinds.get
+        register = kern.register_template
+        flush = self._flush_batch
+
+        def on_instruction(ev: InstrEvent) -> None:
+            pc = ev.pc
+            kind = kget(pc)
+            if kind is None:
+                kind, may_raise = register(
+                    pc, ev.instr, ev.reg_reads, ev.reg_writes, ev.channel
+                )
+                kinds[pc] = kind
+                if may_raise:
+                    raise_pcs.add(pc)
+            if kind == K_SKIP:
+                if not skip_cell[0] and not batch:
+                    base[0] = ev.seq
+                skip_cell[0] += 1
+                return
+            if not batch and not skip_cell[0]:
+                base[0] = ev.seq
+            if skip_cell[0]:
+                extend(pack(K_SKIP, 0, 0, skip_cell[0], 0))
+                skip_cell[0] = 0
+            tid = ev.tid
+            if kind == K_GENERIC:
+                extend(pack(K_GENERIC, tid, pc, 0, 0))
+            elif kind == K_LOAD:
+                extend(pack(K_LOAD, tid, pc, ev.mem_reads[0][0], 0))
+            elif kind == K_STORE:
+                extend(pack(K_STORE, tid, pc, ev.mem_writes[0][0], 0))
+            elif kind == K_SINK:
+                value = ev.reg_reads[0][1]
+                io = ev.io_value
+                a = _fit(value)
+                b = _IO_NONE if io is None else _fit(io)
+                if a != value or (io is not None and b != io):
+                    fixups[ev.seq] = io if io is not None else value
+                extend(pack(K_SINK, tid, pc, a, b))
+                if pc in raise_pcs:
+                    # Flush so an AttackDetected escapes from this very
+                    # instruction's dispatch, exactly like the inline
+                    # reference (FailureInfo pc/seq must match).
+                    flush()
+                    return
+            elif kind == K_IN:
+                extend(pack(K_IN, tid, pc, _fit(ev.io_value), ev.input_index))
+            elif kind == K_ALLOC:
+                alloc_base, alloc_size = ev.alloc
+                extend(pack(K_ALLOC, tid, pc, alloc_base, alloc_size))
+            else:  # K_SPAWN
+                extend(pack(K_SPAWN, tid, pc, ev.reg_writes[0][1], 0))
+            if len(batch) >= flush_bytes:
+                flush()
+
+        # Instance attribute shadows the class method for the hook bus.
+        self.on_instruction = on_instruction
+
+    def _flush_batch(self) -> None:
+        batch = self._batch
+        skip = self._skip_cell
+        if skip[0]:
+            from .kernel import K_SKIP, RECORD
+
+            batch.extend(RECORD.pack(K_SKIP, 0, 0, skip[0], 0))
+            skip[0] = 0
+        if not batch:
+            return
+        data = bytes(batch)
+        del batch[:]
+        kern = self._kernel
+        kern.seq = self._batch_base[0]
+        n0 = len(self._alerts)
+        try:
+            effects = kern.propagate_batch(data)
+        except AttackDetected:
+            self._patch_alert_values(n0)
+            effects = kern.raised_effects
+            if (
+                self.charge_overhead
+                and effects is not None
+                and self.machine is not None
+            ):
+                self.machine.add_overhead(effects.overhead)
+            raise
+        self._patch_alert_values(n0)
+        if self.charge_overhead and self.machine is not None:
+            self.machine.add_overhead(effects.overhead)
+
+    def _patch_alert_values(self, start: int) -> None:
+        """Restore clamped sink payloads on alerts the flush appended."""
+        fixups = self._fixups
+        if not fixups:
+            return
+        alerts = self._alerts
+        for i in range(start, len(alerts)):
+            alert = alerts[i]
+            value = fixups.pop(alert.seq, None)
+            if value is not None:
+                alerts[i] = replace(alert, value=value)
 
     # -- label helpers ------------------------------------------------------
     def _combine(self, labels: list) -> object | None:
@@ -130,15 +333,15 @@ class DIFTEngine(Hook):
         return self.policy.combine(labels)
 
     def _reg_labels(self, tid: int, reg_reads) -> list:
-        reg = self.shadow.regs.get
+        reg = self._shadow.regs.get
         return [reg((tid, r)) for r, _ in reg_reads]
 
     # -- the hook -----------------------------------------------------------
     def on_instruction(self, ev: InstrEvent) -> None:
         op = ev.instr.opcode
         tid = ev.tid
-        shadow = self.shadow
-        stats = self.stats
+        shadow = self._shadow
+        stats = self._stats
         stats.instructions += 1
         overhead = self.check_cycles
         tainted = False
@@ -208,7 +411,7 @@ class DIFTEngine(Hook):
         for rule in self.sinks:
             if not rule.matches(ev):
                 continue
-            self.stats.sink_checks += 1
+            self._stats.sink_checks += 1
             description = self.policy.describe(label)
             alert = TaintAlert(
                 seq=ev.seq,
@@ -220,7 +423,7 @@ class DIFTEngine(Hook):
                 value=ev.io_value if ev.io_value is not None else ev.reg_reads[0][1],
                 channel=ev.channel if ev.channel is not None else -1,
             )
-            self.alerts.append(alert)
+            self._alerts.append(alert)
             if rule.action == "raise":
                 culprit = label if isinstance(self.policy, PCTaintPolicy) else -1
                 raise AttackDetected(str(alert), culprit_pc=culprit)
@@ -242,6 +445,16 @@ class DIFTEngine(Hook):
         )
         registry.gauge("dift.shadow_bytes").set(self.shadow.shadow_bytes)
         registry.counter("shadow.pages_allocated").inc(self.shadow.pages_allocated)
+        if self._kernel is not None:
+            # Emitted only when the micro-batcher actually engaged, so
+            # per-event runs (telemetry machines included) keep their
+            # exact historical metric key set.
+            kern = self._kernel
+            registry.counter("dift.kernel.batches").inc(kern.batches)
+            registry.counter("dift.kernel.records").inc(kern.records_consumed)
+            registry.counter("dift.kernel.replayed").inc(kern.records_replayed)
+        if self.kernel_fallback == "numpy":
+            registry.counter("dift.kernel.fallback").inc()
 
     def memory_overhead(self, machine: Machine, guest_word_bytes: int = 4) -> float:
         """Shadow bytes / guest data bytes (the paper's "memory overhead")."""

@@ -45,15 +45,27 @@ Flags (all default **on**):
     modeled-cycle timelines or the per-message ordering ever depends
     on a host-side batching knob, and bit-identity of the simulated
     helper stays trivially preserved.
+``array_kernel``
+    Run DIFT propagation through the vectorized batch kernel
+    (:class:`repro.dift.kernel.ArrayKernel`): packed 24-byte records
+    are decoded with numpy, a conservative location-key fixpoint
+    selects the records that can touch taint, and only those replay
+    through the per-record reference logic, with the untouched bulk
+    accounted in O(1).  Falls back to the pure-python
+    :class:`~repro.dift.kernel.ReferenceKernel` when numpy is missing
+    or the policy is not array-encodable (see
+    :func:`propagation_kernel`).
 
 Resolution order: explicit argument > process-wide override
 (:func:`configure` / :func:`overridden`) > environment
 (``REPRO_FASTPATH=0`` kills everything; ``REPRO_FASTPATH_VM``,
 ``REPRO_FASTPATH_ONTRAC``, ``REPRO_FASTPATH_SHADOW``,
 ``REPRO_FASTPATH_PACKED`` toggle one;
+``REPRO_FASTPATH_KERNEL=reference|array`` picks the propagation
+kernel and ``REPRO_FASTPATH_KERNEL_BATCH`` the records-per-batch;
 ``REPRO_FASTPATH_PARALLEL`` opts in to channel batching and
 ``REPRO_FASTPATH_PARALLEL_BATCH`` sets the messages-per-flush) >
-defaults (the four implementation flags on, batching off).
+defaults (the implementation flags on, batching off).
 """
 
 from __future__ import annotations
@@ -74,6 +86,8 @@ class FastPathConfig:
     packed_store: bool = True
     #: batch the parallel helper's shared-memory channel (default off).
     parallel_batch: bool = False
+    #: vectorized batch propagation kernel (numpy; auto-falls back).
+    array_kernel: bool = True
 
     @classmethod
     def all_on(cls) -> "FastPathConfig":
@@ -83,6 +97,7 @@ class FastPathConfig:
             paged_shadow=True,
             packed_store=True,
             parallel_batch=True,
+            array_kernel=True,
         )
 
     @classmethod
@@ -93,6 +108,7 @@ class FastPathConfig:
             paged_shadow=False,
             packed_store=False,
             parallel_batch=False,
+            array_kernel=False,
         )
 
 
@@ -101,6 +117,21 @@ def _env_bool(name: str, default: bool) -> bool:
     if raw is None:
         return default
     return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def _env_kernel(master: bool) -> bool:
+    """``REPRO_FASTPATH_KERNEL=reference|array`` as the array-kernel bool."""
+    raw = os.environ.get("REPRO_FASTPATH_KERNEL")
+    if raw is None:
+        return master
+    value = raw.strip().lower()
+    if value in ("array", "1", "true", "yes", "on"):
+        return master
+    if value in ("reference", "0", "false", "no", "off", ""):
+        return False
+    raise ValueError(
+        f"REPRO_FASTPATH_KERNEL={raw!r}: expected 'reference' or 'array'"
+    )
 
 
 def from_env() -> FastPathConfig:
@@ -114,6 +145,7 @@ def from_env() -> FastPathConfig:
         # Unlike the implementation flags, batching is opt-in: the master
         # switch can only force it off, never on.
         parallel_batch=master and _env_bool("REPRO_FASTPATH_PARALLEL", False),
+        array_kernel=_env_kernel(master),
     )
 
 
@@ -138,6 +170,91 @@ def parallel_batch_size(explicit: int | None = None) -> int:
     raw = os.environ.get("REPRO_FASTPATH_PARALLEL_BATCH")
     if raw is None:
         return DEFAULT_PARALLEL_BATCH
+    return max(1, int(raw))
+
+
+#: records per inline micro-batch when the array kernel is active.
+DEFAULT_KERNEL_BATCH = 2048
+
+#: cached numpy availability (None = not probed yet).
+_numpy_available: bool | None = None
+
+#: times an array-kernel request fell back to the reference kernel,
+#: keyed by reason ("numpy" | "policy"); read by engine telemetry.
+kernel_fallbacks: dict[str, int] = {}
+
+_fallback_warned = False
+
+
+def numpy_available() -> bool:
+    """Whether numpy can be imported (probed once, cached)."""
+    global _numpy_available
+    if _numpy_available is None:
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            _numpy_available = False
+        else:
+            _numpy_available = True
+    return _numpy_available
+
+
+def note_kernel_fallback(reason: str, *, explicit: bool) -> None:
+    """Count (and, for explicit requests, warn once about) an
+    array-kernel request that fell back to the reference kernel."""
+    global _fallback_warned
+    kernel_fallbacks[reason] = kernel_fallbacks.get(reason, 0) + 1
+    if explicit and not _fallback_warned:
+        import warnings
+
+        warnings.warn(
+            f"array propagation kernel requested but unavailable ({reason}); "
+            "falling back to the reference kernel",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        _fallback_warned = True
+
+
+def propagation_kernel(explicit: str | None = None) -> str:
+    """Resolve the propagation kernel name: ``"array"`` or ``"reference"``.
+
+    An explicit name wins, otherwise the ``array_kernel`` config flag
+    (``REPRO_FASTPATH_KERNEL=reference|array``, default array).  The
+    array kernel additionally requires numpy: when it is missing the
+    resolution falls back to ``"reference"``, counted in
+    :data:`kernel_fallbacks` — with a one-line warning only when the
+    array kernel was *explicitly* requested (argument or environment),
+    so the importable-by-default path stays silent.
+    """
+    if explicit not in (None, "array", "reference"):
+        raise ValueError(f"unknown propagation kernel {explicit!r}")
+    if explicit == "reference":
+        return "reference"
+    if explicit is None and not current().array_kernel:
+        return "reference"
+    if numpy_available():
+        return "array"
+    asked = explicit == "array" or os.environ.get("REPRO_FASTPATH_KERNEL") is not None
+    note_kernel_fallback("numpy", explicit=asked)
+    return "reference"
+
+
+def kernel_batch_size(explicit: int | None = None) -> int:
+    """Records per inline micro-batch for the array kernel.
+
+    An explicit positive argument wins, then
+    ``REPRO_FASTPATH_KERNEL_BATCH``, then :data:`DEFAULT_KERNEL_BATCH`.
+    Purely an implementation knob: any positive value yields
+    bit-identical observables (the differential suite proves it).
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError("kernel batch size must be >= 1")
+        return explicit
+    raw = os.environ.get("REPRO_FASTPATH_KERNEL_BATCH")
+    if raw is None:
+        return DEFAULT_KERNEL_BATCH
     return max(1, int(raw))
 
 
@@ -266,14 +383,20 @@ def resolve_config(config: "FastPathConfig | bool | None") -> FastPathConfig:
 
 
 __all__ = [
+    "DEFAULT_KERNEL_BATCH",
     "DEFAULT_PARALLEL_BATCH",
     "DEFAULT_STREAM_CHUNK_ROWS",
     "FastPathConfig",
     "configure",
     "current",
     "from_env",
+    "kernel_batch_size",
+    "kernel_fallbacks",
+    "note_kernel_fallback",
+    "numpy_available",
     "overridden",
     "parallel_batch_size",
+    "propagation_kernel",
     "replace",
     "resolve",
     "resolve_config",

@@ -31,12 +31,13 @@ K_IN        input value, input index
 K_SINK      sink operand value, io value (ICALL/OUT)
 ==========  ========================================================
 
-The worker reconstructs a per-pc template :class:`InstrEvent`, mutates
-the dynamic fields in place (the engine never retains events), and
-feeds it to the stock engine — so propagation, sink checks and stats
-are the inline engine's own code, byte for byte.  The differential
-suite asserts the returned alerts, taint sets and stats equal an
-inline reference run.
+The worker feeds drained ring chunks straight to a pluggable
+:class:`~repro.dift.kernel.PropagationKernel` — no per-record Python
+loop in the worker: the reference kernel reconstructs per-pc template
+events and drives the stock engine record by record, while the array
+kernel (the default when numpy is importable) propagates each chunk
+vectorized.  Either way the differential suite asserts the returned
+alerts, taint sets and stats equal an inline reference run.
 
 Batching (`repro.fastpath.parallel_batch` / ``--batch-size``) flushes N
 records per ring publish to amortize the position updates; default off
@@ -57,31 +58,31 @@ from multiprocessing import shared_memory
 
 from .. import fastpath
 from ..telemetry.obs import wall_now_us
-from ..dift.engine import DIFTEngine, DIFTStats, SinkRule, TaintAlert
+from ..dift.engine import DIFTStats, SinkRule, TaintAlert
+# The 24-byte wire format is canonically defined next to the kernels
+# that consume it; re-exported here for backward compatibility.
+from ..dift.kernel import (
+    K_ALLOC,
+    K_GENERIC,
+    K_IN,
+    K_LOAD,
+    K_SINK,
+    K_SKIP,
+    K_SPAWN,
+    K_STORE,
+    RECORD,
+    RECORD_SIZE,
+    _fit,
+    _IO_NONE,
+    build_kernel,
+    select_kernel,
+)
 from ..dift.policy import TaintPolicy
 from ..dift.shadow import ShadowState
 from ..isa.instructions import Opcode
 from ..vm.errors import AttackDetected
 from ..vm.events import Hook, InstrEvent
 from ..vm.machine import Machine
-
-#: one ring record: kind u8, tid u16, pc u32, a i64, b i64, pad -> 24 B.
-RECORD = struct.Struct("<BHIqqx")
-RECORD_SIZE = RECORD.size
-
-K_SKIP = 0
-K_GENERIC = 1
-K_LOAD = 2
-K_STORE = 3
-K_ALLOC = 4
-K_SPAWN = 5
-K_IN = 6
-K_SINK = 7
-
-_I64_MIN = -(1 << 63)
-_I64_MAX = (1 << 63) - 1
-#: ``b`` sentinel for "io_value is None" on K_SINK records.
-_IO_NONE = _I64_MIN
 
 #: shm layout: wpos u64 @0, rpos u64 @8, done u8 @16; data follows.
 _HEADER = 32
@@ -101,16 +102,6 @@ _MAX_WORKER_SPANS = 256
 _CTX = multiprocessing.get_context(
     "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 )
-
-
-def _fit(v: int) -> int:
-    """Clamp ``v`` into the representable i64 payload range (the true
-    value is restored parent-side via the alert fixup table)."""
-    if v > _I64_MAX:
-        return _I64_MAX
-    if v <= _I64_MIN:
-        return _I64_MIN + 1
-    return v
 
 
 @dataclass
@@ -149,26 +140,33 @@ def _worker_main(
     source_channels,
     sinks,
     propagate_addresses: bool,
+    kernel_name: str,
 ) -> None:
-    """Consume the ring and drive the unmodified DIFT engine.
+    """Consume the ring and feed drained chunks to a propagation kernel.
 
     Runs in the helper process.  Sends one result payload back through
     ``conn`` when the producer marks the stream done (or an attack
-    freezes the engine, after which the ring is drained unprocessed so
+    freezes the kernel, after which the ring is drained unprocessed so
     the producer never blocks on a full ring).
     """
     shm = shared_memory.SharedMemory(name=shm_name)
     buf = shm.buf
-    engine = DIFTEngine(
+    kern = build_kernel(
+        kernel_name,
         policy,
         source_channels=source_channels,
         sinks=sinks,
         propagate_addresses=propagate_addresses,
-        charge_overhead=False,
     )
-    templates: dict[int, InstrEvent] = {}
-    stats = engine.stats
-    seq = 0
+
+    def template_provider(pc: int) -> None:
+        # The producer sends a pc's template strictly before the first
+        # ring record referencing it, so this recv never deadlocks.
+        tpc, instr, reg_reads, reg_writes, channel = conn.recv()
+        kern.register_template(tpc, instr, reg_reads, reg_writes, channel)
+
+    kern.template_provider = template_provider
+    stats = kern.stats
     attack: str | None = None
     culprit = -1
     busy = 0.0
@@ -177,29 +175,8 @@ def _worker_main(
     started_us = wall_now_us()
     #: coalesced busy bursts as [start_us, end_us] pairs (bounded).
     bursts: list[list[int]] = []
-    iter_unpack = RECORD.iter_unpack
     perf_counter = time.perf_counter
-    on_instruction = engine.on_instruction
-    templates_get = templates.get
-    SKIP, GENERIC, LOAD, STORE = K_SKIP, K_GENERIC, K_LOAD, K_STORE
-    ALLOC, IN, SINK = K_ALLOC, K_IN, K_SINK
-    io_none = _IO_NONE
-
-    def template_for(pc: int) -> InstrEvent:
-        # The producer sends a pc's template strictly before the first
-        # ring record referencing it, so this recv never deadlocks.
-        while pc not in templates:
-            tpc, instr, reg_reads, reg_writes, channel = conn.recv()
-            templates[tpc] = InstrEvent(
-                seq=0,
-                tid=0,
-                pc=tpc,
-                instr=instr,
-                reg_reads=reg_reads,
-                reg_writes=reg_writes,
-                channel=channel,
-            )
-        return templates[pc]
+    propagate = kern.propagate_batch
 
     try:
         while True:
@@ -222,36 +199,7 @@ def _worker_main(
                 continue  # drain without processing; state is frozen
             t0 = perf_counter()
             try:
-                for kind, tid, pc, a, b in iter_unpack(chunk):
-                    # Skip records carry pc=0, so they must short-circuit
-                    # before any template lookup.
-                    if kind == SKIP:
-                        stats.instructions += a
-                        seq += a
-                        continue
-                    ev = templates_get(pc)
-                    if ev is None:
-                        ev = template_for(pc)
-                    ev.seq = seq
-                    seq += 1
-                    ev.tid = tid
-                    if kind == GENERIC:
-                        pass
-                    elif kind == LOAD:
-                        ev.mem_reads = ((a, 0),)
-                    elif kind == STORE:
-                        ev.mem_writes = ((a, 0),)
-                    elif kind == SINK:
-                        ev.reg_reads = ((ev.reg_reads[0][0], a),)
-                        ev.io_value = None if b == io_none else b
-                    elif kind == IN:
-                        ev.io_value = a
-                        ev.input_index = b
-                    elif kind == ALLOC:
-                        ev.alloc = (a, b)
-                    else:  # K_SPAWN
-                        ev.reg_writes = ((ev.reg_writes[0][0], a),)
-                    on_instruction(ev)
+                propagate(chunk)
             except AttackDetected as exc:
                 # Same stopping point as the inline engine: stats, taint
                 # and alerts freeze exactly where the raise happened.
@@ -268,7 +216,7 @@ def _worker_main(
                 bursts[-1][1] = e_us
             else:
                 bursts.append([s_us, e_us])
-        shadow = engine.shadow
+        shadow = kern.shadow
         # perf_counter-derived burst ends can skew a few µs past the
         # wall clock; stretch the lifetime span so bursts always nest.
         ended_us = wall_now_us()
@@ -288,7 +236,7 @@ def _worker_main(
         conn.send(
             {
                 "stats": stats,
-                "alerts": engine.alerts,
+                "alerts": kern.alerts,
                 "regs": dict(shadow.regs),
                 "mem": shadow.mem_items(),
                 "peak_locations": shadow.peak_locations,
@@ -313,7 +261,11 @@ class ParallelHelperDIFT(Hook):
     :meth:`finish` (or just read :attr:`alerts` / :attr:`shadow` /
     :attr:`stats`, which finish implicitly) to collect the worker's
     results.  ``batch_size=None`` resolves through
-    :func:`repro.fastpath.parallel_batch_size`.
+    :func:`repro.fastpath.parallel_batch_size`; ``kernel=None`` resolves
+    the worker's propagation kernel through
+    :func:`repro.fastpath.propagation_kernel` (resolved parent-side so
+    the availability probe and fallback accounting happen in one
+    process).
     """
 
     def __init__(
@@ -324,11 +276,13 @@ class ParallelHelperDIFT(Hook):
         propagate_addresses: bool = False,
         batch_size: int | None = None,
         ring_records: int = 1 << 15,
+        kernel: str | None = None,
     ):
         if ring_records < 64:
             raise ValueError("ring_records must be >= 64")
         self.policy = policy
         self.batch_size = fastpath.parallel_batch_size(batch_size)
+        self.kernel_name = select_kernel(kernel, policy)
         self.machine: Machine | None = None
         self._sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
         self._source_channels = source_channels
@@ -376,6 +330,7 @@ class ParallelHelperDIFT(Hook):
                 self._source_channels,
                 self._sinks,
                 self._propagate_addresses,
+                self.kernel_name,
             ),
             daemon=True,
         )

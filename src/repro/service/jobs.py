@@ -211,6 +211,11 @@ def _execute_dift_stats(payload: dict, telemetry=None) -> dict:
     compiled, _, inputs = _resolve_program(payload["kind"], payload)
     runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
     machine = runner.machine()
+    # Propagation kernel selection (REPRO_FASTPATH_KERNEL=reference|array,
+    # default array when numpy is importable) is inherited from the
+    # engine here and in _execute_attack: pool workers run untraced
+    # machines, so the engine's inline micro-batching engages and every
+    # service job rides the vectorized kernel with no wiring of its own.
     engine = DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(machine)
     result = machine.run(max_instructions=runner.max_instructions)
     return {

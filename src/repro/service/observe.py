@@ -57,7 +57,9 @@ class ServiceObservability:
     ):
         self.registry = registry
         self.session = new_trace_id()
-        self.dump_dir = dump_dir or os.getcwd()
+        # Crash artifacts land in a dedicated subdirectory (created on
+        # first dump) instead of littering the working directory.
+        self.dump_dir = dump_dir or os.path.join(os.getcwd(), "flights")
         self.sample_interval_s = sample_interval_s
         self.flight = FlightRecorder(ring_events)
         self.tracer = WallSpanTracer(enabled=True, max_events=max_spans)

@@ -121,6 +121,11 @@ class Hook:
     def on_failure(self, info) -> None:
         """The guest failed; ``info`` is a FailureInfo."""
 
+    def on_run_end(self) -> None:
+        """The machine's run loop finished (any status), before the
+        RunResult is built — batching hooks flush pending work here so
+        the result's cycle counters are final."""
+
 
 class HookBus:
     """Dispatches machine events to subscribed hooks.
@@ -195,3 +200,7 @@ class HookBus:
     def failure(self, info) -> None:
         for h in self.hooks:
             h.on_failure(info)
+
+    def run_end(self) -> None:
+        for h in self.hooks:
+            h.on_run_end()

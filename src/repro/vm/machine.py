@@ -192,6 +192,9 @@ class Machine:
                 status = RunStatus.FAILED
             elif self.seq >= max_instructions and not self.halted:
                 status = RunStatus.LIMIT
+        # Let batching hooks flush before the counters are snapshotted.
+        if self.hooks.active:
+            self.hooks.run_end()
         result = RunResult(
             status=status,
             instructions=self.seq,

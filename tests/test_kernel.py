@@ -1,0 +1,254 @@
+"""Edge cases for the batch propagation kernels (reference vs array).
+
+The differential suite proves the kernels agree on whole workloads;
+these tests pin down the boundaries where a vectorized batch could
+plausibly diverge: empty batches, batches split exactly at a sink
+record, an ``AttackDetected`` raised mid-batch, overflow-clamped sink
+payloads, fallback resolution, and an adopted array-backed shadow.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro import fastpath
+from repro.dift import BoolTaintPolicy, DIFTEngine, ShadowState, SinkRule
+from repro.dift.kernel import (
+    K_SINK,
+    K_SKIP,
+    RECORD,
+    RECORD_SIZE,
+    SMALL_BATCH,
+    RecordStreamCapture,
+    build_kernel,
+)
+from repro.lang import compile_source
+from repro.vm import Machine, RunStatus
+from repro.vm.errors import AttackDetected
+
+from .test_dift import ATTACK_SRC
+
+# A stream with a sink in the middle: plenty of propagation on both
+# sides of the first ``out`` so splits and selection probes get real
+# work before and after the boundary.
+TAINT_SRC = """
+fn main() {
+    var buf = alloc(16);
+    var acc = 0;
+    var i = 0;
+    while (i < 16) {
+        buf[i] = in(0) + i;
+        acc = acc + buf[i];
+        i = i + 1;
+    }
+    out(acc, 1);
+    var tail = 0;
+    var j = 0;
+    while (j < 16) {
+        tail = tail + buf[j];
+        j = j + 1;
+    }
+    out(tail, 1);
+}
+"""
+
+RECORD_SINKS = [SinkRule(kind="out", action="record")]
+
+
+def capture_stream(src, inputs=None):
+    """Run ``src`` with no DIFT attached, capturing its record stream."""
+    cp = compile_source(src)
+    m = Machine(cp.program)
+    for chan, values in (inputs or {}).items():
+        m.io.provide(chan, values)
+    cap = RecordStreamCapture().attach(m)
+    res = m.run()
+    cap.finish()
+    return m, res, cap
+
+
+def inline_run(src, inputs=None, sinks=None, kernel="reference"):
+    """The ground truth: a stock engine attached to a live machine."""
+    cp = compile_source(src)
+    m = Machine(cp.program)
+    for chan, values in (inputs or {}).items():
+        m.io.provide(chan, values)
+    eng = DIFTEngine(BoolTaintPolicy(), sinks=sinks, kernel=kernel).attach(m)
+    res = m.run()
+    return m, res, eng
+
+
+def kernel_state(kern):
+    """Every observable a consumer can read off a kernel."""
+    return (
+        str(kern.alerts),
+        kern.stats,
+        dict(kern.shadow.regs),
+        kern.shadow.mem_items(),
+        kern.shadow.peak_locations,
+        kern.seq,
+    )
+
+
+def record_offsets(chunk, kind):
+    """Byte offsets of every record of ``kind`` in a packed chunk."""
+    return [
+        i * RECORD_SIZE
+        for i, (k, *_rest) in enumerate(RECORD.iter_unpack(chunk))
+        if k == kind
+    ]
+
+
+@pytest.mark.parametrize("name", ["reference", "array"])
+def test_empty_batch_is_a_noop(name):
+    kern = build_kernel(name, BoolTaintPolicy(), sinks=RECORD_SINKS)
+    effects = kern.propagate_batch(b"")
+    assert effects.records == 0
+    assert effects.instructions == 0
+    assert effects.overhead == 0
+    assert not effects.raised
+    assert kern.seq == 0
+    assert kernel_state(kern)[:5] == ("[]", kern.stats, {}, {}, 0)
+
+
+def test_batch_split_exactly_at_sink_record():
+    _, res, cap = capture_stream(TAINT_SRC, inputs={0: list(range(16))})
+    assert res.status is RunStatus.EXITED
+    stream = b"".join(cap.chunks)
+    sink_off = record_offsets(stream, K_SINK)[0]
+    # The sink must be interior — records on both sides of each split.
+    assert 0 < sink_off < len(stream) - RECORD_SIZE
+    assert len(stream) // RECORD_SIZE > SMALL_BATCH
+
+    splits = {
+        "whole": [stream],
+        # sink record is the *last* record of the first batch
+        "sink-ends-batch": [stream[: sink_off + RECORD_SIZE], stream[sink_off + RECORD_SIZE :]],
+        # sink record is the *first* record of the second batch
+        "sink-starts-batch": [stream[:sink_off], stream[sink_off:]],
+    }
+    states = {}
+    for name in ("reference", "array"):
+        for label, chunks in splits.items():
+            kern = cap.prime(build_kernel(name, BoolTaintPolicy(), sinks=RECORD_SINKS))
+            for chunk in chunks:
+                kern.propagate_batch(chunk)
+            states[(name, label)] = kernel_state(kern)
+    baseline = states[("reference", "whole")]
+    assert all(state == baseline for state in states.values()), states
+    # Both sinks fired, on tainted data.
+    assert baseline[1].sink_checks == 2
+    assert baseline[0].count("TaintAlert") == 2
+
+
+def test_raise_mid_batch_freezes_state_at_reference_point():
+    # Big enough that the array kernel leaves the small-batch path; run
+    # the machine *without* DIFT so execution sails past the hijacked
+    # icall and the stream keeps going after the sink record.
+    inputs = {0: [33] + [0] * 32 + [1]}
+    src = ATTACK_SRC.replace("alloc(4)", "alloc(32)")
+    _, res, cap = capture_stream(src, inputs=inputs)
+    assert res.status is RunStatus.EXITED
+    stream = b"".join(cap.chunks)
+    n_records = len(stream) // RECORD_SIZE
+    assert n_records > SMALL_BATCH
+    sink_off = record_offsets(stream, K_SINK)[0]
+    assert sink_off < len(stream) - RECORD_SIZE  # records follow the sink
+
+    states, effects = {}, {}
+    for name in ("reference", "array"):
+        kern = cap.prime(build_kernel(name, BoolTaintPolicy(), sinks=[SinkRule(kind="icall")]))
+        with pytest.raises(AttackDetected):
+            kern.propagate_batch(stream)
+        states[name] = kernel_state(kern)
+        effects[name] = kern.raised_effects
+    assert states["array"] == states["reference"]
+    ref, arr = effects["reference"], effects["array"]
+    assert arr.raised and ref.raised
+    assert (arr.records, arr.instructions, arr.tainted, arr.overhead) == (
+        ref.records,
+        ref.instructions,
+        ref.tainted,
+        ref.overhead,
+    )
+    # Frozen exactly at the raising record: the sequence number equals
+    # the instruction count consumed, and no post-sink record leaked in.
+    assert states["reference"][5] == ref.instructions
+    assert ref.instructions < cap.instructions
+
+
+@pytest.mark.parametrize("name", ["reference", "array"])
+def test_overflow_sink_fixup_round_trip(name):
+    # 2**70 overflows the i64 record payload; the capture clamps it and
+    # parks the true value in the fixup side table.
+    src = """
+    fn main() {
+        var x = in(0);
+        var big = 1;
+        var i = 0;
+        while (i < 70) { big = big * 2; i = i + 1; }
+        out(big + x, 1);
+    }
+    """
+    inputs = {0: [3]}
+    _, _, inline_eng = inline_run(src, inputs=inputs, sinks=RECORD_SINKS)
+    true_values = [al.value for al in inline_eng.alerts]
+    assert true_values == [2**70 + 3]
+
+    _, _, cap = capture_stream(src, inputs=inputs)
+    assert cap.fixups  # the clamp actually happened
+    kern = cap.prime(build_kernel(name, BoolTaintPolicy(), sinks=RECORD_SINKS))
+    for chunk in cap.chunks:
+        kern.propagate_batch(chunk)
+    assert [al.value for al in kern.alerts] != true_values  # clamped on the wire
+    patched = cap.patch_alerts(kern.alerts)
+    assert [al.value for al in patched] == true_values
+    assert [al.seq for al in patched] == [al.seq for al in inline_eng.alerts]
+
+
+def test_explicit_array_request_without_numpy_warns_once(monkeypatch):
+    monkeypatch.setattr(fastpath, "_numpy_available", False)
+    monkeypatch.setattr(fastpath, "_fallback_warned", False)
+    before = fastpath.kernel_fallbacks.get("numpy", 0)
+    with pytest.warns(RuntimeWarning, match="falling back to the reference kernel"):
+        eng = DIFTEngine(BoolTaintPolicy(), kernel="array")
+    assert eng.kernel_name == "reference"
+    assert eng.kernel_fallback == "numpy"
+    # Counted every time, warned once.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        eng2 = DIFTEngine(BoolTaintPolicy(), kernel="array")
+    assert eng2.kernel_fallback == "numpy"
+    assert fastpath.kernel_fallbacks["numpy"] == before + 2
+
+
+@pytest.mark.skipif(not fastpath.numpy_available(), reason="requires numpy")
+def test_policy_fallback_is_silent_when_implicit():
+    class WiderPolicy(BoolTaintPolicy):
+        """Anything but the two exact scalar policies must demote."""
+
+    before = fastpath.kernel_fallbacks.get("policy", 0)
+    # Pin the config default to array (the environment may force
+    # reference, which would short-circuit before the policy gate).
+    config = replace(fastpath.current(), array_kernel=True)
+    with warnings.catch_warnings(), fastpath.overridden(config):
+        warnings.simplefilter("error")
+        eng = DIFTEngine(WiderPolicy())  # default kernel resolution
+    assert eng.kernel_name == "reference"
+    assert eng.kernel_fallback == "policy"
+    assert fastpath.kernel_fallbacks["policy"] == before + 1
+
+
+@pytest.mark.skipif(not fastpath.numpy_available(), reason="requires numpy")
+def test_adopted_array_shadow_matches_reference():
+    _, _, cap = capture_stream(TAINT_SRC, inputs={0: list(range(16))})
+    policy = BoolTaintPolicy()
+    adopted = ShadowState(policy, array=True)
+    arr = cap.prime(build_kernel("array", policy, sinks=RECORD_SINKS, shadow=adopted))
+    ref = cap.prime(build_kernel("reference", BoolTaintPolicy(), sinks=RECORD_SINKS))
+    for chunk in cap.chunks:
+        arr.propagate_batch(chunk)
+        ref.propagate_batch(chunk)
+    assert arr.shadow is adopted  # the columnar store was used in place
+    assert kernel_state(arr) == kernel_state(ref)

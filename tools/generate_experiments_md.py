@@ -203,6 +203,24 @@ COMMENTARY = {
         "repeats are absorbed at the router without a backend round "
         "trip."
     ),
+    "kernel": (
+        "Pure propagation throughput, with execution factored out: each "
+        "workload's packed record stream (the same 24-byte wire format "
+        "the ring ships) is captured once, then replayed through both "
+        "propagation kernels. The reference kernel is the per-record "
+        "engine loop, verbatim; the array kernel decodes each batch into "
+        "numpy columns, screens taint-free batches in O(1), probes a "
+        "taint-reachability fixpoint to select the records that can "
+        "touch taint, and replays only those through a tightened scalar "
+        "loop — falling back to whole-batch replay when a probe shows "
+        "selection won't pay (dense register taint). The >=3x gate "
+        "(benchmarks/bench_kernel.py) is on the suite aggregate; "
+        "per-workload rows vary with taint density. The identity column "
+        "is the contract: alerts, stats, shadow taint sets and the "
+        "peak-location high-water mark must be bit-identical per "
+        "workload, and `REPRO_FASTPATH_KERNEL=reference` in CI re-runs "
+        "every equivalence suite on the pure-python side of the seam."
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -233,7 +251,7 @@ implementations to bit-identical cycle counts, record streams and
 taint sets. Each section's **Wall-clock** line reports how long the
 host took to run that experiment (also serialized as `wall_time_s` in
 `--report` output) so the modeled and host costs sit side by side.
-Five benchmarks deal in wall-clock (and real bytes) on purpose:
+Six benchmarks deal in wall-clock (and real bytes) on purpose:
 `bench_fastpath.py` (>=2x host speedup, zero change in observables),
 the `slicing` experiment below (packed columnar dependence store:
 >=3x faster queries and >=4x lower *measured* store residency —
@@ -242,8 +260,11 @@ legacy object store exceeded ~55x), the `parallel` experiment, where a
 real worker process is the claim, the `service` experiment, where
 the claims are a live daemon's (throughput scaling across worker
 processes, overload shedding with zero hangs, bit-identical cache
-hits), and the `router` experiment, where a consistent-hash router
-tier fronts three live daemons under hundreds of concurrent clients.
+hits), the `router` experiment, where a consistent-hash router
+tier fronts three live daemons under hundreds of concurrent clients,
+and the `kernel` experiment, where the vectorized batch-propagation
+kernel must beat the per-record reference >=3x on captured record
+streams while staying bit-identical in every observable.
 
 """
 
@@ -251,7 +272,7 @@ tier fronts three live daemons under hundreds of concurrent clients.
 def main() -> None:
     sections = [HEADER]
     names = sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:])) + [
-        "slicing", "parallel", "service", "router",
+        "slicing", "parallel", "service", "router", "kernel",
     ]
     for name in names:
         result = run_experiment(name)

@@ -115,6 +115,8 @@ class DIFTEngine(Hook):
         paged_shadow: bool | None = None,
         kernel: str | None = None,
         kernel_batch: int | None = None,
+        summaries: bool | None = None,
+        summary_cache=None,
     ):
         self.policy = policy
         wants_array = kernel == "array" or (
@@ -133,6 +135,13 @@ class DIFTEngine(Hook):
         #: resolved propagation kernel for this engine ("array"|"reference").
         self.kernel_name = name
         self.kernel_batch = fastpath.kernel_batch_size(kernel_batch)
+        # Function-summary DIFT engages only for the scalar-label
+        # policies (same constraint as the array kernel, and the
+        # output-transfer replay needs unaliased labels).
+        self._summaries = fastpath.resolve(summaries, "summaries") and type(
+            policy
+        ) in (BoolTaintPolicy, PCTaintPolicy)
+        self._summary_cache = summary_cache
         self._shadow = ShadowState(policy, paged=paged_shadow, array=name == "array")
         self.source_channels = source_channels
         self.sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
@@ -155,7 +164,11 @@ class DIFTEngine(Hook):
         # would shift those stamps, so they keep the per-event path
         # (observables are identical either way — only span timestamps
         # would move).
-        if self.kernel_name == "array" and not machine.telemetry.enabled:
+        if (
+            self.kernel_name == "array" or self._summaries
+        ) and not machine.telemetry.enabled:
+            # Summaries ride the micro-batch closure, so they engage it
+            # for the reference kernel too (wrapped, not replaced).
             self._enable_batching()
         machine.hooks.subscribe(self)
         return self
@@ -164,35 +177,49 @@ class DIFTEngine(Hook):
     # The packing closure defers propagation, so every external read of
     # shadow/stats/alerts drains pending records first.  Per-event
     # engines have `_batch is None` and skip straight through.
+    def _drain(self) -> None:
+        if self._batch is None:
+            return
+        if self._batch or self._skip_cell[0]:
+            self._flush_batch()
+        if self._summaries and self._kernel is not None:
+            # Resolve a region still buffered for matching so the
+            # observables below are exact.  Settling mid-run only costs
+            # elision (pass-through resumes afterwards), never
+            # correctness — and any later raise still escapes at its
+            # own record's flush.
+            n0 = len(self._alerts)
+            extra = self._kernel.settle()
+            self._patch_alert_values(n0)
+            if extra and self.charge_overhead and self.machine is not None:
+                self.machine.add_overhead(extra)
+
     @property
     def shadow(self) -> ShadowState:
-        if self._batch is not None and (self._batch or self._skip_cell[0]):
-            self._flush_batch()
+        self._drain()
         return self._shadow
 
     @property
     def stats(self) -> DIFTStats:
-        if self._batch is not None and (self._batch or self._skip_cell[0]):
-            self._flush_batch()
+        self._drain()
         return self._stats
 
     @property
     def alerts(self) -> list[TaintAlert]:
-        if self._batch is not None and (self._batch or self._skip_cell[0]):
-            self._flush_batch()
+        self._drain()
         return self._alerts
 
     def on_run_end(self) -> None:
-        if self._batch is not None and (self._batch or self._skip_cell[0]):
-            self._flush_batch()
+        self._drain()
 
     def _enable_batching(self) -> None:
         from .kernel import (
-            ArrayKernel,
             K_ALLOC,
+            K_CALL,
             K_GENERIC,
             K_IN,
             K_LOAD,
+            K_RET,
             K_SINK,
             K_SKIP,
             K_SPAWN,
@@ -200,9 +227,11 @@ class DIFTEngine(Hook):
             RECORD,
             _fit,
             _IO_NONE,
+            build_kernel,
         )
 
-        kern = ArrayKernel(
+        kern = build_kernel(
+            self.kernel_name,
             self.policy,
             source_channels=self.source_channels,
             sinks=self.sinks,
@@ -211,7 +240,16 @@ class DIFTEngine(Hook):
             stats=self._stats,
             alerts=self._alerts,
         )
+        summaries_on = self._summaries
+        if summaries_on:
+            from .summaries import SummaryKernel
+
+            kern = SummaryKernel(kern, cache=self._summary_cache)
+            self._summary_cache = kern.cache
         self._kernel = kern
+        # Pseudo-kinds for call-boundary instructions (summary mode):
+        # negative so no packed kind collides.
+        SK_CALL, SK_RET, SK_ISINK = -1, -2, -3
         batch = bytearray()
         self._batch = batch
         skip_cell = self._skip_cell
@@ -233,9 +271,44 @@ class DIFTEngine(Hook):
                 kind, may_raise = register(
                     pc, ev.instr, ev.reg_reads, ev.reg_writes, ev.channel
                 )
+                if summaries_on:
+                    op = ev.instr.opcode
+                    if op is Opcode.CALL:
+                        kind = SK_CALL
+                    elif op is Opcode.RET:
+                        kind = SK_RET
+                    elif op is Opcode.ICALL:
+                        kind = SK_ISINK
                 kinds[pc] = kind
                 if may_raise:
                     raise_pcs.add(pc)
+            if kind < 0:
+                # Call boundaries (summary mode): CALL/RET fold their
+                # own skip weight into the run, cut it, then append the
+                # zero-weight marker — CALL's weight lands before (i.e.
+                # outside) the region, RET's inside it.  ICALL cuts the
+                # run and puts its K_CALL(a=1) marker just before its
+                # own sink record, then continues as a normal sink.
+                if kind == SK_ISINK:
+                    if not batch and not skip_cell[0]:
+                        base[0] = ev.seq
+                    if skip_cell[0]:
+                        extend(pack(K_SKIP, 0, 0, skip_cell[0], 0))
+                        skip_cell[0] = 0
+                    extend(pack(K_CALL, ev.tid, pc, 1, 0))
+                    kind = K_SINK
+                else:
+                    if not skip_cell[0] and not batch:
+                        base[0] = ev.seq
+                    skip_cell[0] += 1
+                    extend(pack(K_SKIP, 0, 0, skip_cell[0], 0))
+                    skip_cell[0] = 0
+                    extend(
+                        pack(K_CALL if kind == SK_CALL else K_RET, ev.tid, pc, 0, 0)
+                    )
+                    if len(batch) >= flush_bytes:
+                        flush()
+                    return
             if kind == K_SKIP:
                 if not skip_cell[0] and not batch:
                     base[0] = ev.seq
@@ -453,6 +526,10 @@ class DIFTEngine(Hook):
             registry.counter("dift.kernel.batches").inc(kern.batches)
             registry.counter("dift.kernel.records").inc(kern.records_consumed)
             registry.counter("dift.kernel.replayed").inc(kern.records_replayed)
+            counters = getattr(kern, "counters", None)
+            if counters is not None:  # SummaryKernel per-run counters
+                for key, value in counters().items():
+                    registry.counter(f"dift.summaries.{key}").inc(value)
         if self.kernel_fallback == "numpy":
             registry.counter("dift.kernel.fallback").inc()
 

@@ -62,6 +62,14 @@ K_ALLOC = 4
 K_SPAWN = 5
 K_IN = 6
 K_SINK = 7
+#: call-boundary markers (function-summary mode only): zero-weight
+#: metadata records cut into the stream by producers when
+#: ``fastpath.summaries`` is on.  ``K_CALL`` carries ``a=0`` for a
+#: direct CALL site and ``a=1`` for an ICALL (never summarized); both
+#: kinds are pure no-ops to the base kernels — every kind >= K_CALL
+#: represents zero guest instructions.
+K_CALL = 8
+K_RET = 9
 
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
@@ -319,7 +327,7 @@ class PropagationKernel:
         on_instruction = engine.on_instruction
         io_none = _IO_NONE
         SKIP, GENERIC, LOAD, STORE = K_SKIP, K_GENERIC, K_LOAD, K_STORE
-        ALLOC, IN, SINK = K_ALLOC, K_IN, K_SINK
+        ALLOC, IN, SINK, CALL_M = K_ALLOC, K_IN, K_SINK, K_CALL
         check = engine.check_cycles
         prop = self.policy.propagate_cycles
         try:
@@ -329,6 +337,10 @@ class PropagationKernel:
                 if kind == SKIP:
                     stats.instructions += a
                     seq += a
+                    continue
+                if kind >= CALL_M:
+                    # Call-boundary markers: zero-weight stream metadata
+                    # consumed by the summary layer; plain no-ops here.
                     continue
                 ev = templates_get(pc)
                 if ev is None:
@@ -556,7 +568,7 @@ class ArrayKernel(PropagationKernel):
         arr = np.frombuffer(records, dtype=self._rec_dtype)
         kind = arr["kind"]
         pc = arr["pc"].astype(np.int64)
-        valid = kind != K_SKIP
+        valid = (kind != K_SKIP) & (kind < K_CALL)
         max_pc = int(pc.max(initial=0))
         if max_pc >= self._cap:
             self._grow(max_pc + 1)
@@ -571,7 +583,9 @@ class ArrayKernel(PropagationKernel):
             return self._replay_all(records)
 
         a = arr["a"]
-        w = np.where(valid, 1, a)  # instructions per record (skip = run)
+        # Instructions per record: live = 1, skip = run length, call
+        # markers (kind >= K_CALL) = 0 — markers are weightless metadata.
+        w = np.where(valid, 1, np.where(kind == K_SKIP, a, 0))
         cum = np.cumsum(w)
         total_instr = int(cum[-1])
         self.batches += 1
@@ -916,7 +930,12 @@ class RecordStreamCapture(Hook):
     into a kernel so the stream can be replayed through it.
     """
 
-    def __init__(self, flush_records: int = 4096):
+    #: pseudo-kinds (marker capture only, never hit the wire as-is)
+    _SK_CALL = -1
+    _SK_RET = -2
+    _SK_ISINK = -3
+
+    def __init__(self, flush_records: int = 4096, markers: bool = False):
         self.chunks: list[bytes] = []
         self.templates: list[tuple] = []
         self.fixups: dict[int, int] = {}
@@ -924,6 +943,7 @@ class RecordStreamCapture(Hook):
         self._batch = bytearray()
         self._flush_bytes = flush_records * RECORD_SIZE
         self._skip = 0
+        self._markers = markers
         self.instructions = 0
 
     def attach(self, machine) -> "RecordStreamCapture":
@@ -935,16 +955,50 @@ class RecordStreamCapture(Hook):
         kind = self._kinds.get(pc)
         if kind is None:
             kind = classify_opcode(ev.instr, ev.reg_writes)
+            if self._markers:
+                op = ev.instr.opcode
+                if op is Opcode.CALL:
+                    kind = self._SK_CALL
+                elif op is Opcode.RET:
+                    kind = self._SK_RET
+                elif op is Opcode.ICALL:
+                    kind = self._SK_ISINK
             self._kinds[pc] = kind
-            if kind != K_SKIP:
+            if kind != K_SKIP and kind not in (self._SK_CALL, self._SK_RET):
                 self.templates.append(
                     (pc, ev.instr, ev.reg_reads, ev.reg_writes, ev.channel)
                 )
         self.instructions += 1
+        batch = self._batch
+        if kind < 0:
+            # Summary-mode call boundaries, mirroring the engine closure:
+            # CALL/RET fold their own skip weight into the run, cut it,
+            # then append the zero-weight marker (so CALL's weight lands
+            # before — outside — the region and RET's weight inside it).
+            # ICALL cuts the run and puts its K_CALL(a=1) marker just
+            # before its own sink record.
+            if kind == self._SK_ISINK:
+                if self._skip:
+                    batch.extend(RECORD.pack(K_SKIP, 0, 0, self._skip, 0))
+                    self._skip = 0
+                batch.extend(RECORD.pack(K_CALL, ev.tid, pc, 1, 0))
+                kind = K_SINK
+            else:
+                self._skip += 1
+                batch.extend(RECORD.pack(K_SKIP, 0, 0, self._skip, 0))
+                self._skip = 0
+                batch.extend(
+                    RECORD.pack(
+                        K_CALL if kind == self._SK_CALL else K_RET, ev.tid, pc, 0, 0
+                    )
+                )
+                if len(batch) >= self._flush_bytes:
+                    self.chunks.append(bytes(batch))
+                    del batch[:]
+                return
         if kind == K_SKIP:
             self._skip += 1
             return
-        batch = self._batch
         if self._skip:
             batch.extend(RECORD.pack(K_SKIP, 0, 0, self._skip, 0))
             self._skip = 0
@@ -1003,9 +1057,11 @@ __all__ = [
     "ArrayKernel",
     "BatchEffects",
     "K_ALLOC",
+    "K_CALL",
     "K_GENERIC",
     "K_IN",
     "K_LOAD",
+    "K_RET",
     "K_SINK",
     "K_SKIP",
     "K_SPAWN",

@@ -64,8 +64,17 @@ Resolution order: explicit argument > process-wide override
 ``REPRO_FASTPATH_KERNEL=reference|array`` picks the propagation
 kernel and ``REPRO_FASTPATH_KERNEL_BATCH`` the records-per-batch;
 ``REPRO_FASTPATH_PARALLEL`` opts in to channel batching and
-``REPRO_FASTPATH_PARALLEL_BATCH`` sets the messages-per-flush) >
-defaults (the implementation flags on, batching off).
+``REPRO_FASTPATH_PARALLEL_BATCH`` sets the messages-per-flush;
+``REPRO_FASTPATH_SUMMARIES`` opts in to function-summary DIFT) >
+defaults (the implementation flags on, batching and summaries off).
+
+``summaries``
+    Function-summary DIFT (:mod:`repro.dift.summaries`): the first
+    execution of a CALL-delimited region is distilled into a taint
+    transfer summary; later calls with a matching footprint apply it
+    in O(footprint) and skip instruction-level propagation, with
+    automatic invalidation + bounded re-learning on divergence.
+    **Default off** (opt-in like ``parallel_batch``) until proven.
 """
 
 from __future__ import annotations
@@ -88,6 +97,9 @@ class FastPathConfig:
     parallel_batch: bool = False
     #: vectorized batch propagation kernel (numpy; auto-falls back).
     array_kernel: bool = True
+    #: function-summary DIFT: learn per-call taint transfer functions
+    #: and replay them in O(footprint) (default off until proven).
+    summaries: bool = False
 
     @classmethod
     def all_on(cls) -> "FastPathConfig":
@@ -98,6 +110,7 @@ class FastPathConfig:
             packed_store=True,
             parallel_batch=True,
             array_kernel=True,
+            summaries=True,
         )
 
     @classmethod
@@ -109,6 +122,7 @@ class FastPathConfig:
             packed_store=False,
             parallel_batch=False,
             array_kernel=False,
+            summaries=False,
         )
 
 
@@ -146,6 +160,8 @@ def from_env() -> FastPathConfig:
         # switch can only force it off, never on.
         parallel_batch=master and _env_bool("REPRO_FASTPATH_PARALLEL", False),
         array_kernel=_env_kernel(master),
+        # Summaries are opt-in the same way while they prove out.
+        summaries=master and _env_bool("REPRO_FASTPATH_SUMMARIES", False),
     )
 
 

@@ -844,6 +844,169 @@ def run_kernel(scale: int = 2, repeats: int = 5) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Function-summary DIFT — call-region replay vs instruction-level propagation
+# ---------------------------------------------------------------------------
+def run_summaries(scale: int = 1, repeats: int = 3) -> ExperimentResult:
+    """Propagation wall clock with and without function summaries
+    (:class:`~repro.dift.summaries.SummaryKernel`) over identical
+    marked record streams.
+
+    Each workload's stream is captured once with CALL/RET markers cut
+    in (zero-weight records base kernels ignore, so both sides consume
+    the very same bytes).  The base side is the session's batch kernel
+    alone; the summary side wraps a fresh kernel + fresh cache per
+    pass, so every timed pass pays its own learning — the speedup is
+    the realistic single-run number, not a warm-cache best case.  The
+    suite is the six call-free spec workloads (summaries must not
+    slow them) plus the call-heavy trio at 0%/10%/50% polymorphism;
+    alerts, stats, shadow taint and peak residency are asserted
+    identical per workload, and the record ledger must reconcile:
+    consumed == markers + elided + records reaching the inner kernel.
+    """
+    import time
+
+    from .. import fastpath
+    from ..dift.engine import SinkRule
+    from ..dift.kernel import RECORD_SIZE, RecordStreamCapture, build_kernel
+    from ..dift.policy import BoolTaintPolicy as _Bool
+    from ..dift.summaries import SummaryKernel
+    from ..workloads.generators import call_heavy
+
+    result = ExperimentResult(
+        experiment="summaries",
+        claim=(
+            "learned call summaries replay taint transfer in O(footprint): "
+            ">=5x propagation on call-heavy code, >=2x suite aggregate, "
+            "observables bit-identical"
+        ),
+        headers=[
+            "workload", "records", "base s", "summary s", "speedup",
+            "hits", "inval", "elided", "identical",
+        ],
+    )
+    iters = 128 * scale
+    workloads = list(suite(scale)) + [
+        call_heavy(0, iterations=iters, stmts=64, name="calls-p0"),
+        call_heavy(10, iterations=iters, stmts=64, name="calls-p10"),
+        call_heavy(2, iterations=iters, stmts=64, name="calls-p50"),
+    ]
+    numpy_ok = fastpath.numpy_available()
+    kernel_name = "array" if numpy_ok else "reference"
+
+    captures = []
+    for w in workloads:
+        runner = w.runner()
+        m = runner.machine()
+        cap = RecordStreamCapture(markers=True).attach(m)
+        m.run(max_instructions=runner.max_instructions)
+        cap.finish()
+        captures.append(cap)
+
+    def base_pass(cap):
+        kern = build_kernel(
+            kernel_name, _Bool(), sinks=[SinkRule(kind="out", action="record")]
+        )
+        cap.prime(kern)
+        t0 = time.perf_counter()
+        for chunk in cap.chunks:
+            kern.propagate_batch(chunk)
+        elapsed = time.perf_counter() - t0
+        cap.patch_alerts(kern.alerts)
+        return kern, elapsed
+
+    def summary_pass(cap):
+        inner = build_kernel(
+            kernel_name, _Bool(), sinks=[SinkRule(kind="out", action="record")]
+        )
+        kern = SummaryKernel(inner)
+        cap.prime(kern)
+        t0 = time.perf_counter()
+        for chunk in cap.chunks:
+            kern.propagate_batch(chunk)
+        kern.settle()
+        elapsed = time.perf_counter() - t0
+        cap.patch_alerts(kern.alerts)
+        return kern, elapsed
+
+    all_identical = True
+    all_reconciled = True
+    base_total = summ_total = 0.0
+    total_records = 0
+    per_name: dict[str, float] = {}
+    counter_totals = {"learned": 0, "hits": 0, "invalidations": 0, "records_elided": 0}
+    p50_invalidations = 0
+    for w, cap in zip(workloads, captures):
+        best_base = best_summ = float("inf")
+        for _ in range(repeats):
+            base_kern, base_s = base_pass(cap)
+            summ_kern, summ_s = summary_pass(cap)
+            best_base = min(best_base, base_s)
+            best_summ = min(best_summ, summ_s)
+        identical = (
+            str(base_kern.alerts) == str(summ_kern.alerts)
+            and base_kern.stats == summ_kern.stats
+            and base_kern.shadow.regs == summ_kern.shadow.regs
+            and base_kern.shadow.mem_items() == summ_kern.shadow.mem_items()
+            and base_kern.shadow.peak_locations == summ_kern.shadow.peak_locations
+        )
+        all_identical = all_identical and identical
+        reconciled = summ_kern.records_consumed == (
+            summ_kern.markers
+            + summ_kern.records_elided
+            + summ_kern.inner.records_consumed
+        )
+        all_reconciled = all_reconciled and reconciled
+        counters = summ_kern.counters()
+        for key in counter_totals:
+            counter_totals[key] += counters[key]
+        if w.name == "calls-p50":
+            p50_invalidations = counters["invalidations"]
+        n_rec = sum(len(c) for c in cap.chunks) // RECORD_SIZE
+        total_records += n_rec
+        base_total += best_base
+        summ_total += best_summ
+        per_name[w.name] = best_base / best_summ
+        result.rows.append(
+            [
+                w.name, n_rec, best_base, best_summ, best_base / best_summ,
+                counters["hits"], counters["invalidations"],
+                counters["records_elided"], identical and reconciled,
+            ]
+        )
+    result.rows.append(
+        ["suite", total_records, base_total, summ_total,
+         base_total / summ_total, "", "", "", ""]
+    )
+    if not all_identical:
+        result.notes = "BIT-IDENTITY VIOLATED — summary replay changed observables"
+    elif not all_reconciled:
+        result.notes = "RECORD LEDGER MISMATCH — elision double-counted records"
+
+    attempts = counter_totals["hits"] + counter_totals["learned"] + (
+        counter_totals["invalidations"]
+    )
+    result.headline = {
+        "callheavy_speedup": per_name.get("calls-p0", 0.0),
+        "aggregate_speedup": base_total / summ_total,
+        "target_callheavy_speedup": 5.0,
+        "target_aggregate_speedup": 2.0,
+        "identical": float(all_identical),
+        "reconciled": float(all_reconciled),
+        "polymorphic_invalidations": float(p50_invalidations),
+        "summary_hit_rate": (
+            counter_totals["hits"] / attempts if attempts else 0.0
+        ),
+        "numpy_available": float(numpy_ok),
+    }
+    result.metrics = {
+        f"dift.summaries.{key}": float(value)
+        for key, value in counter_totals.items()
+    }
+    result.metrics["dift.summaries.records_total"] = float(total_records)
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Packed store + indexed slicing — query wall clock and real residency
 # ---------------------------------------------------------------------------
 def run_slicing(scale: int = 1, repeats: int = 3) -> ExperimentResult:
@@ -1650,6 +1813,7 @@ EXTRA_EXPERIMENTS = {
     "fastpath": run_fastpath,
     "kernel": run_kernel,
     "slicing": run_slicing,
+    "summaries": run_summaries,
     "parallel": run_parallel,
     "service": run_service,
     "router": run_router,

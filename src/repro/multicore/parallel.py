@@ -63,9 +63,11 @@ from ..dift.engine import DIFTStats, SinkRule, TaintAlert
 # that consume it; re-exported here for backward compatibility.
 from ..dift.kernel import (
     K_ALLOC,
+    K_CALL,
     K_GENERIC,
     K_IN,
     K_LOAD,
+    K_RET,
     K_SINK,
     K_SKIP,
     K_SPAWN,
@@ -77,6 +79,7 @@ from ..dift.kernel import (
     build_kernel,
     select_kernel,
 )
+from ..dift.summaries import SummaryKernel, summarizable
 from ..dift.policy import TaintPolicy
 from ..dift.shadow import ShadowState
 from ..isa.instructions import Opcode
@@ -92,6 +95,12 @@ _DONE = 16
 
 #: how long (s) the producer sleeps when the ring is full / empty.
 _POLL_S = 0.00002
+
+#: pseudo-kinds for call-boundary instructions (summary mode only);
+#: negative so no packed record kind collides.
+_SK_CALL = -1
+_SK_RET = -2
+_SK_ISINK = -3
 
 #: worker busy-burst spans: coalesce bursts closer than this gap (µs)
 #: and never ship more than this many — the side pipe carries a coarse,
@@ -124,6 +133,12 @@ class ParallelReport:
     #: back over the side pipe: one whole-lifetime "helper.worker" span
     #: plus coalesced "helper.busy" bursts (see _SPAN_GAP_US).
     spans: list = None
+    #: function-summary counters from the worker's kernel
+    #: ({learned,hits,invalidations,records_elided}), None when off.
+    summaries: dict | None = None
+    #: zero-weight CALL/RET marker records shipped (summary mode only);
+    #: excluded from ``messages``.
+    markers: int = 0
 
     @property
     def worker_utilization(self) -> float:
@@ -141,6 +156,7 @@ def _worker_main(
     sinks,
     propagate_addresses: bool,
     kernel_name: str,
+    summaries: bool = False,
 ) -> None:
     """Consume the ring and feed drained chunks to a propagation kernel.
 
@@ -158,12 +174,21 @@ def _worker_main(
         sinks=sinks,
         propagate_addresses=propagate_addresses,
     )
+    if summaries:
+        kern = SummaryKernel(kern)
+
+    def register_def() -> None:
+        tpc, instr, reg_reads, reg_writes, channel = conn.recv()
+        kern.register_template(tpc, instr, reg_reads, reg_writes, channel)
 
     def template_provider(pc: int) -> None:
         # The producer sends a pc's template strictly before the first
-        # ring record referencing it, so this recv never deadlocks.
-        tpc, instr, reg_reads, reg_writes, channel = conn.recv()
-        kern.register_template(tpc, instr, reg_reads, reg_writes, channel)
+        # ring record referencing it, so ``pc``'s def is already in the
+        # pipe; defs arrive in first-need order but the idle loop may
+        # have drained past it, hence the membership check.
+        templates = kern.templates
+        while pc not in templates:
+            register_def()
 
     kern.template_provider = template_provider
     stats = kern.stats
@@ -187,6 +212,14 @@ def _worker_main(
                     # close the race between the two stores.
                     if int.from_bytes(buf[_WPOS], "little") == rpos:
                         break
+                    continue
+                if conn.poll():
+                    # Drain queued template defs while the ring is idle.
+                    # A template-heavy program can push more def bytes
+                    # than the pipe holds before its records reach the
+                    # ring; if nothing recv'd here the producer's
+                    # blocking send and this idle loop would deadlock.
+                    register_def()
                     continue
                 time.sleep(_POLL_S)
                 continue
@@ -216,6 +249,10 @@ def _worker_main(
                 bursts[-1][1] = e_us
             else:
                 bursts.append([s_us, e_us])
+        if summaries and attack is None:
+            # Resolve a region still buffered for matching (a frozen
+            # attack keeps everything exactly where the raise left it).
+            kern.settle()
         shadow = kern.shadow
         # perf_counter-derived burst ends can skew a few µs past the
         # wall clock; stretch the lifetime span so bursts always nest.
@@ -246,6 +283,7 @@ def _worker_main(
                 "busy_s": busy,
                 "wall_s": time.perf_counter() - started,
                 "spans": spans,
+                "summaries": kern.counters() if summaries else None,
             }
         )
     finally:
@@ -277,12 +315,16 @@ class ParallelHelperDIFT(Hook):
         batch_size: int | None = None,
         ring_records: int = 1 << 15,
         kernel: str | None = None,
+        summaries: bool | None = None,
     ):
         if ring_records < 64:
             raise ValueError("ring_records must be >= 64")
         self.policy = policy
         self.batch_size = fastpath.parallel_batch_size(batch_size)
         self.kernel_name = select_kernel(kernel, policy)
+        self.summaries = fastpath.resolve(summaries, "summaries") and summarizable(
+            policy
+        )
         self.machine: Machine | None = None
         self._sinks = sinks if sinks is not None else [SinkRule(kind="icall")]
         self._source_channels = source_channels
@@ -293,9 +335,10 @@ class ParallelHelperDIFT(Hook):
         self._kinds: dict[int, int] = {}
         self._generic: dict[int, bytes] = {}
         self._fixups: dict[int, int] = {}
-        #: [pending skip-run length, total skipped, skip records emitted].
-        #: A list so the hot-path closure can mutate it without ``self``.
-        self._skip_cell = [0, 0, 0]
+        #: [pending skip-run length, total skipped, skip records
+        #: emitted, marker records emitted].  A list so the hot-path
+        #: closure can mutate it without ``self``.
+        self._skip_cell = [0, 0, 0, 0]
         self._wpos = 0
         self._rpos_cache = 0
         self._defs = 0
@@ -331,6 +374,7 @@ class ParallelHelperDIFT(Hook):
                 self._sinks,
                 self._propagate_addresses,
                 self.kernel_name,
+                self.summaries,
             ),
             daemon=True,
         )
@@ -368,6 +412,38 @@ class ParallelHelperDIFT(Hook):
             kind = kinds_get(pc)
             if kind is None:
                 kind = define(ev)
+            if kind < 0:
+                # Call boundaries (summary mode); same layout as the
+                # inline engine's closure: CALL/RET fold their skip
+                # weight into the run, cut it, append the zero-weight
+                # marker; ICALL cuts the run and puts its K_CALL(a=1)
+                # marker just before its own sink record.
+                if kind == _SK_ISINK:
+                    run = cell[0]
+                    if run:
+                        extend(pack(SKIP, 0, 0, run, 0))
+                        cell[1] += run
+                        cell[2] += 1
+                        cell[0] = 0
+                    extend(pack(K_CALL, ev.tid, pc, 1, 0))
+                    cell[3] += 1
+                    kind = SINK
+                else:
+                    cell[0] += 1
+                    run = cell[0]
+                    extend(pack(SKIP, 0, 0, run, 0))
+                    cell[1] += run
+                    cell[2] += 1
+                    cell[0] = 0
+                    extend(
+                        pack(
+                            K_CALL if kind == _SK_CALL else K_RET, ev.tid, pc, 0, 0
+                        )
+                    )
+                    cell[3] += 1
+                    if len(batch) >= flush_bytes:
+                        publish()
+                    return
             if kind == SKIP:
                 cell[0] += 1
                 return
@@ -431,12 +507,19 @@ class ParallelHelperDIFT(Hook):
             kind = K_SINK
         else:
             kind = K_SKIP
-        self._kinds[ev.pc] = kind
         if kind != K_SKIP:
             # Ship the static operand template before any ring record
             # can reference this pc.
             self._conn.send((ev.pc, ev.instr, ev.reg_reads, ev.reg_writes, ev.channel))
             self._defs += 1
+        if self.summaries:
+            if op is Opcode.CALL:
+                kind = _SK_CALL
+            elif op is Opcode.RET:
+                kind = _SK_RET
+            elif op is Opcode.ICALL:
+                kind = _SK_ISINK
+        self._kinds[ev.pc] = kind
         return kind
 
     # -- ring producer -------------------------------------------------------
@@ -542,13 +625,17 @@ class ParallelHelperDIFT(Hook):
         self._pages_allocated = payload["pages_allocated"]
         # Counters are derived at completion rather than maintained per
         # event: every record is RECORD_SIZE bytes, so the shipped byte
-        # count gives the message total, and each skip record carries its
+        # count gives the record total, and each skip record carries its
         # run length (accumulated in the cell when the record is cut).
-        messages = self._bytes // RECORD_SIZE
+        # Zero-weight CALL/RET markers (summary mode) are reported on
+        # their own so messages keeps meaning weight-bearing records.
+        markers = cell[3]
+        messages = self._bytes // RECORD_SIZE - markers
         skipped = cell[1]
         self._report = ParallelReport(
             instructions=(messages - cell[2]) + skipped,
             messages=messages,
+            markers=markers,
             skipped=skipped,
             defs=self._defs,
             batches=self._batches,
@@ -560,6 +647,7 @@ class ParallelHelperDIFT(Hook):
             attack=payload["attack"],
             culprit_pc=payload["culprit_pc"],
             spans=payload.get("spans") or [],
+            summaries=payload.get("summaries"),
         )
         return self._report
 
@@ -646,6 +734,9 @@ class ParallelHelperDIFT(Hook):
         registry.gauge("multicore.parallel.worker_utilization").set(
             rep.worker_utilization
         )
+        if rep.summaries is not None:
+            for key, value in rep.summaries.items():
+                registry.counter(f"dift.summaries.{key}").inc(value)
 
 
 __all__ = [

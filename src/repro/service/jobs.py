@@ -31,14 +31,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from .. import fastpath
 from ..dift.engine import DIFTEngine, SinkRule
 from ..dift.policy import BoolTaintPolicy, PCTaintPolicy
+from ..dift.summaries import SummaryCache, cache_signature, summarizable
 from ..lang import compile_source
 from ..ontrac import OntracConfig
 from ..runner import ProgramRunner
 from ..slicing import backward_slice
+from ..workloads.generators import call_heavy
 from ..workloads.spec_like import bfs, fsm, hashloop, matmul, rle, sort
 from .protocol import ProtocolError
 
@@ -64,6 +68,11 @@ WORKLOAD_FACTORIES = {
     "rle": lambda s: rle(80 * s),
     "bfs": lambda s: bfs(6 * s),
     "fsm": lambda s: fsm(120 * s),
+    # Call-heavy family: summary-friendly (p0) through summary-hostile
+    # (p50, every other call diverges) — see workloads.generators.
+    "calls-p0": lambda s: call_heavy(0, iterations=48 * s, name="calls-p0"),
+    "calls-p10": lambda s: call_heavy(10, iterations=48 * s, name="calls-p10"),
+    "calls-p50": lambda s: call_heavy(2, iterations=48 * s, name="calls-p50"),
 }
 
 #: test-only kind that crashes/misbehaves inside the worker process so
@@ -165,6 +174,70 @@ def cache_key(spec: JobSpec) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Function-summary caches (worker-side, survive across requests)
+# ---------------------------------------------------------------------------
+#: (program key, configuration signature) -> SummaryCache, LRU-bounded.
+#: Keyed alongside the result cache: the signature folds in the policy
+#: class (i.e. the resolved fidelity) and sink config, so a summary
+#: learned under ``dift`` (bool labels) can never serve a ``full``
+#: (PC-label) request for the same program.
+_SUMMARY_CACHES: OrderedDict[tuple[str, str], SummaryCache] = OrderedDict()
+_SUMMARY_CACHE_BOUND = 64
+
+#: dift.summaries.* counter deltas accumulated since the last drain.
+_summary_pending: dict[str, int] = {}
+
+
+def _payload_program_key(payload: dict) -> str:
+    """:func:`program_key` over the worker-form payload dict."""
+    if payload.get("source") is not None:
+        digest = hashlib.sha256(payload["source"].encode("utf-8")).hexdigest()[:16]
+        return f"src:{digest}"
+    return f"workload:{payload.get('workload')}:{payload.get('scale', 1)}"
+
+
+def _summary_cache_for(payload: dict, policy, sinks) -> SummaryCache | None:
+    """Long-lived summary cache for (program, engine configuration).
+
+    Returns ``None`` when the fast path is off or the policy is not
+    summarizable; the engine then runs exactly as before.
+    """
+    if not fastpath.resolve(None, "summaries") or not summarizable(policy):
+        return None
+    sig = cache_signature(policy, None, sinks, False)
+    key = (_payload_program_key(payload), sig)
+    cache = _SUMMARY_CACHES.pop(key, None)
+    if cache is None:
+        cache = SummaryCache(sig)
+    _SUMMARY_CACHES[key] = cache
+    while len(_SUMMARY_CACHES) > _SUMMARY_CACHE_BOUND:
+        _SUMMARY_CACHES.popitem(last=False)
+    return cache
+
+
+def _note_summary_counters(engine: DIFTEngine) -> None:
+    """Fold one engine run's per-run counters into the pending pot."""
+    counters = getattr(getattr(engine, "_kernel", None), "counters", None)
+    if counters is None:
+        return
+    for key, value in counters().items():
+        if value:
+            _summary_pending[key] = _summary_pending.get(key, 0) + value
+
+
+def drain_summary_metrics() -> dict[str, int]:
+    """Hand back (and reset) the accumulated summary counter deltas.
+
+    The pool worker calls this after each job and ships any non-empty
+    result to the daemon piggybacked on the response, where it lands in
+    the service registry as ``dift.summaries.*`` counters.
+    """
+    out = {k: v for k, v in _summary_pending.items() if v}
+    _summary_pending.clear()
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Worker-side execution
 # ---------------------------------------------------------------------------
 def _inputs_from(params: dict, default: dict | None = None) -> dict[int, list[int]]:
@@ -216,8 +289,14 @@ def _execute_dift_stats(payload: dict, telemetry=None) -> dict:
     # engine here and in _execute_attack: pool workers run untraced
     # machines, so the engine's inline micro-batching engages and every
     # service job rides the vectorized kernel with no wiring of its own.
-    engine = DIFTEngine(BoolTaintPolicy(), sinks=[]).attach(machine)
+    policy = BoolTaintPolicy()
+    engine = DIFTEngine(
+        policy,
+        sinks=[],
+        summary_cache=_summary_cache_for(payload, policy, []),
+    ).attach(machine)
     result = machine.run(max_instructions=runner.max_instructions)
+    _note_summary_counters(engine)
     return {
         "run": _run_summary(result, machine),
         "dift": {
@@ -336,8 +415,13 @@ def _execute_attack(payload: dict, fidelity: str, telemetry=None, emit=_no_emit)
     sinks = [SinkRule(kind="icall")]
     if params.get("out_sink"):
         sinks.append(SinkRule(kind="out", channels=None))
-    engine = DIFTEngine(policy, sinks=sinks).attach(machine)
+    engine = DIFTEngine(
+        policy,
+        sinks=sinks,
+        summary_cache=_summary_cache_for(payload, policy, sinks),
+    ).attach(machine)
     result = machine.run(max_instructions=runner.max_instructions)
+    _note_summary_counters(engine)
     run_section = _run_summary(result, machine)
     policy_name = "pc" if fidelity == FIDELITY_FULL else "bool"
     emit({"set": {"run": run_section,
@@ -540,6 +624,7 @@ __all__ = [
     "WORKLOAD_FACTORIES",
     "MAX_ENGINE_SPANS",
     "cache_key",
+    "drain_summary_metrics",
     "execute_job",
     "execute_job_stream",
     "execute_job_traced",

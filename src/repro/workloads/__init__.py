@@ -3,7 +3,14 @@
 for the substitution table."""
 
 from .buggy import BuggyProgram, by_category, corpus
-from .generators import GeneratedProgram, GeneratorConfig, ProgramGenerator, generate
+from .generators import (
+    GeneratedProgram,
+    GeneratorConfig,
+    ProgramGenerator,
+    call_heavy,
+    call_heavy_suite,
+    generate,
+)
 from .scientific import (
     cumulative_sum,
     LineageWorkload,
@@ -33,6 +40,8 @@ __all__ = [
     "GeneratedProgram",
     "GeneratorConfig",
     "ProgramGenerator",
+    "call_heavy",
+    "call_heavy_suite",
     "generate",
     "by_category",
     "corpus",

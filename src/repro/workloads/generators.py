@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from ..lang.codegen import CompiledProgram, compile_source
 from ..runner import ProgramRunner
 from ..util.rng import DeterministicRng
+from .spec_like import Workload
 
 
 @dataclass
@@ -203,3 +204,97 @@ def generate(seed: int, config: GeneratorConfig | None = None) -> GeneratedProgr
         rng = DeterministicRng(seed ^ 0x5EED)
         inputs[0] = [rng.randint(-50, 50) for _ in range(config.input_count)]
     return GeneratedProgram(seed=seed, source=source, compiled=compiled, inputs=inputs)
+
+
+# ---------------------------------------------------------------------------
+# Call-heavy family (function-summary DIFT workloads)
+# ---------------------------------------------------------------------------
+_HELPER_OPS = ("+", "^", "-", "+", "|", "^", "&", "+")
+
+
+def _helper_source(idx: int, stmts: int, nested_call: str | None) -> str:
+    """One helper: a long straight-line arithmetic body over ``x``.
+
+    No branches, no loop-varying addresses — every invocation replays
+    the identical record byte sequence, which is exactly the region
+    shape function summaries thrive on.  The fixed-global read gives
+    the footprint a memory key in addition to the argument register.
+    """
+    lines = [f"fn h{idx}(x) {{", "    var acc = x;"]
+    for j in range(stmts):
+        op = _HELPER_OPS[(idx + j) % len(_HELPER_OPS)]
+        k = 3 + (idx * 7 + j * 5) % 23
+        lines.append(f"    acc = (acc {op} {k}) + x * {1 + j % 5};")
+    if nested_call is not None:
+        lines.append(f"    acc = acc + {nested_call};")
+    lines.append(f"    acc = (acc + gh{idx}) % 1048573;")
+    lines.append("    return acc;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_heavy(
+    divergent_every: int = 0,
+    iterations: int = 48,
+    stmts: int = 32,
+    name: str = "calls",
+) -> Workload:
+    """Call-dominated kernel with tunable call-site polymorphism.
+
+    Four helpers (two of them nesting a second call) are invoked from a
+    loop, so every call site re-enters with the same code bytes each
+    iteration.  ``divergent_every=M`` passes a *clean* constant instead
+    of the tainted input every M-th iteration, flipping the callee's
+    input-footprint labels — the worst case for learned summaries,
+    exercising guard invalidation, relearning and blacklisting.  ``0``
+    keeps every site monomorphic (the summary fast path's best case).
+    """
+    helpers = "\n".join(
+        [
+            _helper_source(0, stmts, None),
+            _helper_source(1, stmts, "h0(acc)"),
+            _helper_source(2, stmts, None),
+            _helper_source(3, stmts, "h2(x + acc)"),
+        ]
+    )
+    if divergent_every > 0:
+        flip = (
+            f"        if ((i % {divergent_every}) == 0) {{ a = 7; }}\n"
+        )
+    else:
+        flip = ""
+    src = (
+        "global g0; global g1; global g2; global g3;\n"
+        "global gh0; global gh1; global gh2; global gh3;\n"
+        f"{helpers}\n"
+        "fn main() {\n"
+        "    var t = in(0);\n"
+        "    var i = 0;\n"
+        f"    while (i < {iterations}) {{\n"
+        "        var a = t;\n"
+        f"{flip}"
+        "        g0 = (g0 + h0(a)) % 1048573;\n"
+        "        g1 = (g1 + h1(t)) % 1048573;\n"
+        "        g2 = (g2 + h2(a)) % 1048573;\n"
+        "        g3 = (g3 + h3(t)) % 1048573;\n"
+        "        i = i + 1;\n"
+        "    }\n"
+        "    out((g0 + g1 + g2 + g3) % 1048573, 1);\n"
+        "}\n"
+    )
+    return Workload(
+        name,
+        compile_source(src),
+        {0: [1234567]},
+        f"call-heavy kernel ({divergent_every or 'no'}-way polymorphism)",
+    )
+
+
+def call_heavy_suite(scale: int = 1) -> list[Workload]:
+    """calls-p0 / calls-p10 / calls-p50: 0%, 10%, 50% divergent calls."""
+    n = 48 * scale
+    return [
+        call_heavy(0, iterations=n, name="calls-p0"),
+        call_heavy(10, iterations=n, name="calls-p10"),
+        call_heavy(2, iterations=n, name="calls-p50"),
+    ]

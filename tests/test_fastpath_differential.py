@@ -20,6 +20,7 @@ from repro.tm import Resolution, TMConfig, TransactionalMonitor
 from repro.workloads import (
     GeneratorConfig,
     build_server,
+    call_heavy,
     corpus,
     generate,
     lineage_suite,
@@ -32,6 +33,13 @@ ON = FastPathConfig.all_on()
 OFF = FastPathConfig.all_off()
 
 SPEC = suite()
+# Small call-heavy trio: under all-on flags the DIFT side runs through
+# the function-summary kernel (learn / hit / variant / fallback paths).
+CALLS = [
+    call_heavy(0, iterations=12, stmts=8, name="calls-p0"),
+    call_heavy(10, iterations=12, stmts=8, name="calls-p10"),
+    call_heavy(2, iterations=12, stmts=8, name="calls-p50"),
+]
 BUGGY = corpus()
 RACES = race_kernels()
 LINEAGE = lineage_suite()
@@ -144,6 +152,17 @@ def test_spec_traced_naive(w):
 
 @pytest.mark.parametrize("w", SPEC, ids=_name)
 def test_spec_dift(w):
+    assert_differential(w.runner, _dift_state)
+
+
+# --- call-heavy trio (function-summary coverage) ----------------------------
+@pytest.mark.parametrize("w", CALLS, ids=_name)
+def test_calls_plain(w):
+    assert_differential(w.runner, _plain_state)
+
+
+@pytest.mark.parametrize("w", CALLS, ids=_name)
+def test_calls_dift(w):
     assert_differential(w.runner, _dift_state)
 
 

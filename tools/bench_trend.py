@@ -45,12 +45,41 @@ def collect_bench(root: Path) -> dict[str, dict]:
         except (OSError, ValueError) as exc:
             print(f"bench_trend: skipping {path.name}: {exc}", file=sys.stderr)
             continue
+        if not isinstance(data, dict):
+            print(f"bench_trend: skipping {path.name}: not an object", file=sys.stderr)
+            continue
         name = data.get("experiment") or path.stem[len("BENCH_"):]
-        entry = {"headline": data.get("headline", {})}
+        headline = data.get("headline")
+        entry = {"headline": headline if isinstance(headline, dict) else {}}
         if data.get("notes"):
             entry["notes"] = data["notes"]
         experiments[name] = entry
     return experiments
+
+
+def headline_deltas(prev_entry: dict | None, latest_entry: dict) -> list[str]:
+    """Per-experiment numeric drift vs the previous commit's entry.
+
+    Every lookup is ``.get``-tolerant: experiments appear and disappear
+    across the PR sequence (a new BENCH_*.json mid-history must not
+    KeyError against entries that predate it), and headline keys are
+    free to evolve.  New experiments/keys report as ``new``.
+    """
+    lines: list[str] = []
+    prev_exps = (prev_entry or {}).get("experiments") or {}
+    for name, entry in sorted((latest_entry.get("experiments") or {}).items()):
+        headline = entry.get("headline") or {}
+        prev_headline = (prev_exps.get(name) or {}).get("headline") or {}
+        for key, value in sorted(headline.items()):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            old = prev_headline.get(key)
+            if isinstance(old, (int, float)) and not isinstance(old, bool):
+                delta = value - old
+                lines.append(f"{name}.{key}: {old:g} -> {value:g} ({delta:+g})")
+            else:
+                lines.append(f"{name}.{key}: {value:g} (new)")
+    return lines
 
 
 def update_trend(root: Path, out: Path) -> dict:
@@ -94,6 +123,9 @@ def main(argv: list[str] | None = None) -> int:
         f"{'y' if len(trend['entries']) == 1 else 'ies'}; "
         f"latest {latest['commit'][:12]} covers: {names}"
     )
+    prev = trend["entries"][-2] if len(trend["entries"]) > 1 else None
+    for line in headline_deltas(prev, latest):
+        print(f"  {line}")
     return 0
 
 

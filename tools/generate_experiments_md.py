@@ -1,6 +1,6 @@
 """Regenerate EXPERIMENTS.md by running every experiment (E1..E12 plus
-the extra `slicing`, `parallel`, `service` and `router` wall-clock
-experiments).
+the extra `slicing`, `parallel`, `service`, `router`, `kernel` and
+`summaries` wall-clock experiments).
 
 Usage: python tools/generate_experiments_md.py
 """
@@ -221,6 +221,28 @@ COMMENTARY = {
         "workload, and `REPRO_FASTPATH_KERNEL=reference` in CI re-runs "
         "every equivalence suite on the pure-python side of the seam."
     ),
+    "summaries": (
+        "Call-granular elision on top of the batch kernel: the first "
+        "execution of a CALL-delimited region is distilled into a taint "
+        "transfer function (input footprint, output labels, stats deltas, "
+        "sink trips), and later calls whose pre-state matches apply it in "
+        "O(footprint) instead of replaying the region record by record. "
+        "Validity is a two-part guard — footprint labels at entry plus "
+        "exact byte equality of the region's records — so an aliased "
+        "store, divergent branch or changed sink payload falls back to "
+        "full propagation and re-learns; sites alternating between "
+        "stable taint patterns keep one summary per footprint (variants) "
+        "instead of thrashing. The base side of every row is the *array* "
+        "kernel, not the reference loop — the >=5x call-heavy and >=2x "
+        "aggregate gates (benchmarks/bench_summaries.py) are on top of "
+        "the vectorized fast path, and each timed pass pays its own "
+        "learning (fresh cache). The call-free spec workloads ride along "
+        "to show the marker machinery costs them nothing, the "
+        "50%-polymorphic member must show invalidations with identity "
+        "held, and the record ledger must reconcile exactly: every "
+        "consumed record is a marker, an elided region record, or a "
+        "record the inner kernel actually propagated."
+    ),
 }
 
 HEADER = """# EXPERIMENTS — paper vs. measured
@@ -262,9 +284,12 @@ the claims are a live daemon's (throughput scaling across worker
 processes, overload shedding with zero hangs, bit-identical cache
 hits), the `router` experiment, where a consistent-hash router
 tier fronts three live daemons under hundreds of concurrent clients,
-and the `kernel` experiment, where the vectorized batch-propagation
+the `kernel` experiment, where the vectorized batch-propagation
 kernel must beat the per-record reference >=3x on captured record
-streams while staying bit-identical in every observable.
+streams while staying bit-identical in every observable, and the
+`summaries` experiment, where learned per-call taint transfer
+functions must beat the bare batch kernel >=5x on call-heavy code
+(>=2x suite aggregate) with the record ledger reconciled exactly.
 
 """
 
@@ -272,7 +297,7 @@ streams while staying bit-identical in every observable.
 def main() -> None:
     sections = [HEADER]
     names = sorted(ALL_EXPERIMENTS, key=lambda n: int(n[1:])) + [
-        "slicing", "parallel", "service", "router", "kernel",
+        "slicing", "parallel", "service", "router", "kernel", "summaries",
     ]
     for name in names:
         result = run_experiment(name)

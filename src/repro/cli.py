@@ -18,6 +18,10 @@ Commands:
 * ``stats``             — scrape a running daemon's live metrics
   (Prometheus text by default, ``--json`` for the snapshot series,
   ``--dump`` to force a flight-recorder artifact)
+* ``lake ls|info|slice|diff|gc`` — query the persistent trace lake:
+  list stored runs, postmortem one run, slice it without re-executing,
+  diff a failing run's dependence edges against passing runs, and
+  apply retention/compaction (``trace --lake`` records runs)
 
 Inputs are passed as ``--input CH=V1,V2,...`` (repeatable).
 """
@@ -96,11 +100,12 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    compiled, _ = _load(args.file)
+    compiled, source = _load(args.file)
     telemetry = _telemetry(args)
+    inputs = _parse_inputs(args.input)
     runner = ProgramRunner(
         compiled.program,
-        inputs=_parse_inputs(args.input),
+        inputs=inputs,
         max_instructions=args.max_instructions,
         telemetry=telemetry,
     )
@@ -109,7 +114,25 @@ def cmd_trace(args) -> int:
         if args.naive
         else OntracConfig(buffer_bytes=args.buffer)
     )
+    pending = None
+    if args.lake:
+        from .lake import TraceLake, input_hash, program_hash
+
+        lake = TraceLake(args.lake_root)
+        pending = lake.begin_run(
+            program=program_hash(source),
+            input_hash=input_hash(inputs),
+            seed=args.seed,
+        )
+        config.spill_path = pending.spill_path
     machine, tracer, result = runner.run_traced(config)
+    if pending is not None:
+        run_id = pending.finish(
+            tracer=tracer,
+            compiled=compiled,
+            registry=telemetry.registry if telemetry.enabled else None,
+        )
+        print(f"lake run: {run_id}")
     stats = tracer.stats
     print(f"status: {result.status.value}")
     print(f"instructions: {stats.instructions}")
@@ -447,6 +470,107 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_lake_ls(args) -> int:
+    from .lake import TraceLake
+
+    lake = TraceLake(args.root)
+    runs = lake.runs()
+    if not runs:
+        print(f"lake at {lake.root} is empty")
+        return 0
+    print(f"{'RUN':50} {'ROWS':>9} {'BYTES':>10} {'ALERTS':>6}  STATUS")
+    for info in runs:
+        if info.complete:
+            trace = info.manifest.get("trace", {})
+            rows = str(trace.get("rows", "?"))
+            alerts = str(len(info.manifest.get("alerts", [])))
+            status = "ok"
+        else:
+            rows, alerts, status = "?", "?", "incomplete"
+        print(f"{info.run_id:50} {rows:>9} {info.bytes:>10} {alerts:>6}  {status}")
+    return 0
+
+
+def cmd_lake_info(args) -> int:
+    import json
+
+    from .lake import TraceLake, postmortem
+
+    lake = TraceLake(args.root)
+    run_id = lake.resolve(args.run)
+    manifest = lake.manifest(run_id)
+    with lake.open(run_id) as run:
+        report = postmortem(run, manifest)
+    report["run"] = run_id
+    if manifest is not None:
+        for key in ("program", "input_hash", "seed", "fidelity", "policy"):
+            if key in manifest:
+                report[key] = manifest[key]
+    json.dump(report, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_lake_slice(args) -> int:
+    from .lake import TraceLake, resolve_criterion, slice_lines, slice_stored
+
+    lake = TraceLake(args.root)
+    run_id = lake.resolve(args.run)
+    manifest = lake.manifest(run_id)
+    with lake.open(run_id) as run:
+        try:
+            criterion = resolve_criterion(
+                run, seq=args.seq, pc=args.pc, line=args.line, manifest=manifest,
+            )
+            direction = "forward" if args.forward else "backward"
+            sl = slice_stored(run, criterion, direction=direction)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        lines = slice_lines(sl, manifest)
+        recovered = run.recovered
+    print(f"run: {run_id}" + (" [recovered prefix]" if recovered else ""))
+    print(f"criterion: seq {criterion} ({direction})")
+    print(f"slice: {len(sl.seqs)} dynamic instances, {len(sl.pcs)} pcs"
+          + (" [TRUNCATED at window edge]" if sl.truncated else ""))
+    if lines:
+        print(f"source lines: {', '.join(str(line) for line in lines)}")
+    return 0
+
+
+def cmd_lake_diff(args) -> int:
+    import json
+
+    from .lake import TraceLake, diff_runs, suspect_lines
+
+    lake = TraceLake(args.root)
+    result = diff_runs(lake, args.failing, args.passing)
+    result["suspect_lines"] = sorted(suspect_lines(result))
+    json.dump(result, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_lake_gc(args) -> int:
+    import json
+
+    from .lake import TraceLake
+
+    lake = TraceLake(args.root)
+    out: dict = {}
+    if args.keep is not None or args.max_bytes is not None:
+        out["gc"] = lake.gc(keep_runs=args.keep, max_bytes=args.max_bytes)
+    if args.compact is not None:
+        out["compact"] = lake.compact(args.compact)
+    if not out:
+        print("error: gc needs --keep, --max-bytes, or --compact RUN",
+              file=sys.stderr)
+        return 2
+    json.dump(out, sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Scalable DIFT and its applications (IPDPS'08 reproduction)"
@@ -475,6 +599,15 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_trace)
     p_trace.add_argument("--naive", action="store_true", help="disable all optimizations")
     p_trace.add_argument("--buffer", type=int, default=1 << 22, help="trace buffer bytes")
+    p_trace.add_argument("--lake", action="store_true",
+                         help="persist the trace into the lake (sealed chunks "
+                              "spill as the run executes; a killed run leaves "
+                              "a recoverable prefix)")
+    p_trace.add_argument("--lake-root", metavar="DIR", default=None,
+                         help="lake root for --lake (default ./lake or "
+                              "REPRO_LAKE_DIR)")
+    p_trace.add_argument("--seed", type=int, default=0,
+                         help="run-key seed recorded with --lake")
     p_trace.set_defaults(func=cmd_trace)
 
     p_slice = sub.add_parser("slice", help="backward dynamic slice of a source line")
@@ -501,7 +634,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="run paper experiments")
     p_exp.add_argument("ids", nargs="*",
                        help="experiment ids (E1..E12, fastpath, slicing, "
-                            "parallel, service); "
+                            "parallel, service, lake); "
                             "default E1..E12")
     p_exp.add_argument("--report", metavar="PATH",
                        help="write per-experiment results + metrics (JSON) to PATH")
@@ -633,6 +766,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--timeout", type=float, default=30.0, metavar="S",
                          help="client-side response timeout")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_lake = sub.add_parser(
+        "lake", help="query the persistent trace lake (stored runs)"
+    )
+    lake_sub = p_lake.add_subparsers(dest="lake_command", required=True)
+
+    def lake_common(p):
+        p.add_argument("--root", metavar="DIR", default=None,
+                       help="lake root (default ./lake or REPRO_LAKE_DIR)")
+
+    pl_ls = lake_sub.add_parser("ls", help="list stored runs")
+    lake_common(pl_ls)
+    pl_ls.set_defaults(func=cmd_lake_ls)
+
+    pl_info = lake_sub.add_parser(
+        "info", help="manifest + postmortem summary of one run"
+    )
+    lake_common(pl_info)
+    pl_info.add_argument("run", help="run id (unique prefix ok)")
+    pl_info.set_defaults(func=cmd_lake_info)
+
+    pl_slice = lake_sub.add_parser(
+        "slice", help="re-execution-free dynamic slice of a stored run"
+    )
+    lake_common(pl_slice)
+    pl_slice.add_argument("run", help="run id (unique prefix ok)")
+    pl_slice.add_argument("--seq", type=int, default=None,
+                          help="criterion dynamic sequence number")
+    pl_slice.add_argument("--pc", type=int, default=None,
+                          help="criterion: last stored instance of this pc")
+    pl_slice.add_argument("--line", type=int, default=None,
+                          help="criterion: last stored instance of this "
+                               "source line (needs a manifest)")
+    pl_slice.add_argument("--forward", action="store_true",
+                          help="forward lineage instead of backward slice")
+    pl_slice.set_defaults(func=cmd_lake_slice)
+
+    pl_diff = lake_sub.add_parser(
+        "diff", help="dependence edges in the failing run but no passing run"
+    )
+    lake_common(pl_diff)
+    pl_diff.add_argument("--failing", required=True, metavar="RUN",
+                         help="the failing run (unique prefix ok)")
+    pl_diff.add_argument("--passing", required=True, nargs="+", metavar="RUN",
+                         help="passing runs to subtract")
+    pl_diff.set_defaults(func=cmd_lake_diff)
+
+    pl_gc = lake_sub.add_parser(
+        "gc", help="retention: drop oldest runs and/or compact one run"
+    )
+    lake_common(pl_gc)
+    pl_gc.add_argument("--keep", type=int, default=None, metavar="N",
+                       help="keep at most N newest runs")
+    pl_gc.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                       help="drop oldest runs until the lake is under B bytes")
+    pl_gc.add_argument("--compact", metavar="RUN", default=None,
+                       help="rewrite RUN's spill into dense max-size chunks")
+    pl_gc.set_defaults(func=cmd_lake_gc)
     return parser
 
 

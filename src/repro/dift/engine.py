@@ -212,6 +212,43 @@ class DIFTEngine(Hook):
     def on_run_end(self) -> None:
         self._drain()
 
+    def policy_signature(self) -> str:
+        """Stable description of the active taint policy + sink rules
+        (what the trace-lake manifest records so a stored run's alerts
+        can be interpreted without the engine)."""
+        sinks = ",".join(
+            f"{rule.kind}"
+            f"[{'*' if rule.channels is None else '|'.join(map(str, sorted(rule.channels)))}]"
+            f":{rule.action}"
+            for rule in self.sinks
+        )
+        policy = type(self.policy).__name__
+        return f"{policy}/b{self.policy.label_bytes}/{self.kernel_name}({sinks})"
+
+    def lake_manifest(self) -> dict:
+        """JSON-safe manifest fragment for the trace lake: policy
+        signature, alert list, and the headline DIFT stats."""
+        stats = self.stats
+        return {
+            "policy": self.policy_signature(),
+            "alerts": [
+                {
+                    "seq": a.seq, "tid": a.tid, "pc": a.pc, "sink": a.sink,
+                    "label": str(a.label), "description": a.description,
+                    "value": getattr(a, "value", 0),
+                    "channel": getattr(a, "channel", -1),
+                }
+                for a in self.alerts
+            ],
+            "dift": {
+                "instructions": stats.instructions,
+                "tainted_instructions": stats.tainted_instructions,
+                "sources": stats.sources,
+                "sink_checks": stats.sink_checks,
+                "taint_rate": stats.taint_rate,
+            },
+        }
+
     def _enable_batching(self) -> None:
         from .kernel import (
             K_ALLOC,

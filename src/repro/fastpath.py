@@ -349,6 +349,23 @@ def service_observe_enabled(explicit: bool | None = None) -> bool:
     return _env_bool("REPRO_SERVICE_OBSERVE", True)
 
 
+def service_lake_enabled(explicit: bool | None = None) -> bool:
+    """Resolve the service's trace-lake persistence switch.
+
+    When on, workers spill each traced job's packed dependence stream
+    into the trace lake (:mod:`repro.lake`) under the observability
+    umbrella, so "the one request that failed" can be sliced and
+    diffed post-hoc — even after a crash — without re-executing it.
+    Persistence is job-granular I/O outside the modeled machine, so
+    like the switches above it is an operational policy: an explicit
+    argument wins, otherwise ``REPRO_SERVICE_LAKE`` decides (default
+    off — spilling every job costs disk).
+    """
+    if explicit is not None:
+        return explicit
+    return _env_bool("REPRO_SERVICE_LAKE", False)
+
+
 _current: FastPathConfig | None = None
 
 
@@ -418,6 +435,7 @@ __all__ = [
     "resolve_config",
     "service_async_enabled",
     "service_degrade_enabled",
+    "service_lake_enabled",
     "service_observe_enabled",
     "stream_chunk_rows",
 ]

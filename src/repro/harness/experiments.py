@@ -1161,6 +1161,186 @@ def run_slicing(scale: int = 1, repeats: int = 3) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Trace lake — stored-run query fidelity and cross-run diff localization
+# ---------------------------------------------------------------------------
+def run_lake(scale: int = 1) -> ExperimentResult:
+    """Persist every suite workload's trace into a throwaway lake and
+    prove the stored runs answer queries **without re-execution** and
+    **bit-identically** to the live in-memory buffer.
+
+    Three checks per workload: (1) backward and forward slices over a
+    spread of criteria, queried on the live packed DDG and on the
+    mmap'd stored run, must match exactly (seqs, pcs, truncated); (2)
+    the stored node set itself must match; (3) the spill-enabled trace
+    must not slow tracing beyond a small constant factor (sealed chunks
+    are written once, off the hot append path).
+
+    Then the cross-run story: for each diffable buggy-corpus family the
+    failing *buggy* run is diffed — in source-line space, via the
+    manifests' pc→line maps — against passing *fixed* runs, and the
+    suspect edge set must implicate a known bug line.  Families whose
+    injected bug does not change the dependence-edge set (e.g. a wrong
+    operator on the same operands) are reported but not required to
+    localize.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from ..lake import (
+        TraceLake,
+        diff_runs,
+        input_hash,
+        postmortem,
+        program_hash,
+        slice_stored,
+        suspect_lines,
+    )
+    from ..slicing import forward_slice
+    from ..workloads import corpus
+
+    result = ExperimentResult(
+        experiment="lake",
+        claim=(
+            "stored runs answer slice/lineage/postmortem re-execution-free "
+            "and bit-identical; cross-run diff localizes injected bugs"
+        ),
+        headers=["case", "rows", "identical", "spill ratio", "detail"],
+    )
+    import os
+
+    root = tempfile.mkdtemp(prefix="repro-lake-exp-")
+    lake = TraceLake(root)
+    n_criteria = 12
+    repeats = 3
+    all_identical = True
+    plain_total = spill_total = 0.0
+    try:
+        for w in suite(scale):
+            plain_s = spill_s = float("inf")
+            scratch = os.path.join(root, "scratch.rlk")
+            tracer = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                w.runner().run_traced(OntracConfig())
+                plain_s = min(plain_s, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                _, tracer, _ = w.runner().run_traced(
+                    OntracConfig(spill_path=scratch)
+                )
+                spill_s = min(spill_s, time.perf_counter() - t0)
+            pending = lake.begin_run(
+                program=w.name, input_hash=input_hash(w.inputs),
+            )
+            # finish() seals the scratch spill and copies it into the
+            # reserved run directory.
+            run_id = pending.finish(tracer=tracer, compiled=w.compiled)
+            os.remove(scratch)
+            ratio = spill_s / max(plain_s, 1e-9)
+            plain_total += plain_s
+            spill_total += spill_s
+
+            live = tracer.dependence_graph()
+            live_nodes = sorted(live.node_items())
+            seqs = [s for s, _ in live_nodes]
+            step = max(1, len(seqs) // n_criteria)
+            crits = seqs[::step][:n_criteria]
+            identical = True
+            with lake.open(run_id) as stored:
+                identical &= sorted(stored.ddg().node_items()) == live_nodes
+                for crit in crits:
+                    for direction, ref in (
+                        ("backward", backward_slice(live, crit)),
+                        ("forward", forward_slice(live, crit)),
+                    ):
+                        got = slice_stored(stored, crit, direction=direction)
+                        identical &= (
+                            got.seqs == ref.seqs
+                            and got.pcs == ref.pcs
+                            and got.truncated == ref.truncated
+                        )
+                report = postmortem(stored, lake.manifest(run_id))
+                identical &= not report["recovered"]
+                identical &= report["rows"] == len(tracer.buffer)
+            all_identical &= identical
+            result.rows.append(
+                [w.name, len(tracer.buffer), identical, ratio,
+                 f"{len(crits)}x2 slices"]
+            )
+
+        # Cross-run diff: failing buggy build vs passing fixed builds.
+        # These families' injected bugs change the dependence-edge set,
+        # so the line-space diff must implicate a recorded bug line
+        # (wrong-operator/wrong-constant compute the same dependences
+        # with different values; heap-overflow's suspect edge is the
+        # corrupting store, one line below the faulty loop bound).
+        diffable = {
+            "wrong-variable", "omission-predicate", "omission-init",
+            "malformed-request",
+        }
+        localized = 0
+        attempted = 0
+        for b in corpus():
+            if not b.failing_inputs or not b.passing_inputs:
+                continue
+            attempted += 1
+            _, tr, _ = b.runner(failing=True).run_traced(
+                OntracConfig()
+            )
+            failing_id = lake.put(
+                tr.buffer,
+                program=program_hash(b.source),
+                input_hash=input_hash(b.failing_inputs),
+                compiled=b.compiled,
+                notes=f"{b.name} failing",
+            )
+            passing_ids = []
+            for inputs in (b.failing_inputs, b.passing_inputs):
+                runner = ProgramRunner(
+                    b.fixed_compiled.program,
+                    inputs={k: list(v) for k, v in inputs.items()},
+                    scheduler_factory=b.scheduler_factory,
+                    max_instructions=2_000_000,
+                )
+                _, tr, _ = runner.run_traced(OntracConfig())
+                passing_ids.append(lake.put(
+                    tr.buffer,
+                    program=program_hash(b.fixed_source),
+                    input_hash=input_hash(inputs),
+                    compiled=b.fixed_compiled,
+                    notes=f"{b.name} fixed",
+                ))
+            diff = diff_runs(lake, failing_id, passing_ids)
+            hit = bool(suspect_lines(diff) & b.bug_lines)
+            localized += hit
+            if b.name in diffable and not hit:
+                all_identical = False
+            result.rows.append(
+                [f"diff:{b.name}", diff["failing_edges"],
+                 diff["space"] == "line", "",
+                 f"{len(diff['suspects'])} suspects, "
+                 f"{len(diff['missing'])} missing"
+                 + (", bug line hit" if hit else "")]
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if not all_identical:
+        result.notes = (
+            "LAKE MISMATCH — stored-run queries diverged from live buffers "
+            "or a diffable bug family failed to localize"
+        )
+    result.headline = {
+        "identical": float(all_identical),
+        "spill_overhead": spill_total / max(plain_total, 1e-9),
+        "target_spill_overhead": 1.15,
+        "diff_localized_families": float(localized),
+        "diff_attempted_families": float(attempted),
+        "target_localized_families": 2.0,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
 # Parallel helper — wall-clock cost of the *real* out-of-process worker
 # ---------------------------------------------------------------------------
 def run_parallel(scale: int = 2, repeats: int = 2, batch_size: int = 256) -> ExperimentResult:
@@ -1814,6 +1994,7 @@ EXTRA_EXPERIMENTS = {
     "kernel": run_kernel,
     "slicing": run_slicing,
     "summaries": run_summaries,
+    "lake": run_lake,
     "parallel": run_parallel,
     "service": run_service,
     "router": run_router,

@@ -1,0 +1,55 @@
+"""Persistent trace lake: spill packed dependence chunks to disk while
+tracing, store runs with manifests, and answer slice/lineage/
+postmortem/diff queries across historical runs without re-executing
+anything.
+
+* :mod:`.format` — the append-only spill-file format, the spilling
+  buffer, and the mmap zero-copy reader;
+* :mod:`.store` — :class:`TraceLake`, run keying, manifests, retention
+  and explicit compaction;
+* :mod:`.query` — re-execution-free query verbs over stored runs.
+"""
+
+from .format import (
+    FORMAT_VERSION,
+    LakeFormatError,
+    SpillingPackedTraceBuffer,
+    SpillWriter,
+    StoredRun,
+    open_spill,
+    spill_buffer,
+)
+from .query import (
+    diff_runs,
+    edge_signatures,
+    lineage_stored,
+    postmortem,
+    resolve_criterion,
+    slice_lines,
+    slice_stored,
+    suspect_lines,
+)
+from .store import PendingRun, RunInfo, TraceLake, input_hash, program_hash
+
+__all__ = [
+    "FORMAT_VERSION",
+    "LakeFormatError",
+    "PendingRun",
+    "RunInfo",
+    "SpillWriter",
+    "SpillingPackedTraceBuffer",
+    "StoredRun",
+    "TraceLake",
+    "diff_runs",
+    "edge_signatures",
+    "input_hash",
+    "lineage_stored",
+    "open_spill",
+    "postmortem",
+    "program_hash",
+    "resolve_criterion",
+    "slice_lines",
+    "slice_stored",
+    "spill_buffer",
+    "suspect_lines",
+]

@@ -93,6 +93,14 @@ class OntracConfig:
     #: pure storage strategy — stored rows, modeled bytes and graphs
     #: are identical to the legacy deque.
     packed_store: bool | None = None
+    #: spill sink (trace lake): when set, sealed packed chunks are
+    #: appended to this file as the run executes so the full stream
+    #: survives the process (even a SIGKILLed one — the readable
+    #: prefix recovers).  Requires the packed store; the hot emit path
+    #: is unchanged (spilling happens only when a chunk seals).  Seal
+    #: with :meth:`OnlineTracer.finish_spill` (the runner does this
+    #: automatically after a traced run).
+    spill_path: str | None = None
 
     @classmethod
     def unoptimized(cls, **overrides) -> "OntracConfig":
@@ -151,10 +159,21 @@ class OnlineTracer(Hook):
         # interning (there are no record objects left to intern); the
         # legacy deque picks between the interner and plain DepRecords.
         self._packed = fastpath_config.resolve(self.config.packed_store, "packed_store")
+        if self.config.spill_path and not self._packed:
+            raise ValueError("spill_path requires the packed store")
         if self._packed:
-            self.buffer: TraceBuffer | PackedTraceBuffer = PackedTraceBuffer(
-                self.config.buffer_bytes
-            )
+            if self.config.spill_path:
+                # Local import: repro.lake sits above ontrac in the
+                # layering and is only needed when spilling is on.
+                from ..lake.format import SpillingPackedTraceBuffer
+
+                self.buffer: TraceBuffer | PackedTraceBuffer = (
+                    SpillingPackedTraceBuffer(
+                        self.config.buffer_bytes, self.config.spill_path
+                    )
+                )
+            else:
+                self.buffer = PackedTraceBuffer(self.config.buffer_bytes)
             self._interner: RecordInterner | None = None
             self._rec = DepRecord
             self._emit = self._emit_packed
@@ -195,6 +214,15 @@ class OnlineTracer(Hook):
         self.machine = machine
         machine.hooks.subscribe(self)
         return self
+
+    def finish_spill(self) -> str | None:
+        """Seal the spill file (tail chunk + footer index) if this
+        tracer is spilling; no-op otherwise.  Idempotent; returns the
+        spill path when spilling."""
+        close = getattr(self.buffer, "close", None)
+        if close is not None and getattr(self.buffer, "spill_path", None):
+            return close()
+        return None
 
     def dependence_graph(self) -> DynamicDependenceGraph | PackedDDG:
         """DDG over the records currently in the buffer.

@@ -62,6 +62,9 @@ class ProgramRunner:
         m = self.machine()
         tracer = OnlineTracer(self.program, config).attach(m)
         result = m.run(max_instructions=self.max_instructions)
+        # Seal the trace-lake spill (no-op unless config.spill_path is
+        # set) so the footer index lands even without an explicit close.
+        tracer.finish_spill()
         if self.telemetry is not None and self.telemetry.enabled:
             tracer.publish_telemetry(self.telemetry.registry)
         return m, tracer, result

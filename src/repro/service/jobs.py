@@ -308,14 +308,63 @@ def _execute_dift_stats(payload: dict, telemetry=None) -> dict:
     }
 
 
+def _lake_pending(payload: dict, params: dict, inputs: dict):
+    """Reserve a trace-lake run for this job, or None when persistence
+    is off.  The run is reserved *before* execution so the tracer
+    spills while it runs — a worker killed mid-job leaves an
+    incomplete run with a recoverable trace prefix (the crash
+    postmortem story), not nothing.
+    """
+    explicit = params.get("lake")
+    if not fastpath.service_lake_enabled(
+        None if explicit is None else bool(explicit)
+    ):
+        return None
+    if not fastpath.resolve(None, "packed_store"):
+        return None  # spilling rides the packed columnar store
+    from ..lake import TraceLake
+    from ..lake import input_hash as _lake_input_hash
+
+    try:
+        lake = TraceLake(params.get("lake_root"))
+        return lake.begin_run(
+            program=_payload_program_key(payload).replace(":", "-"),
+            input_hash=_lake_input_hash(inputs),
+            seed=int(params.get("seed", 0)),
+            fidelity=payload.get("kind", "trace"),
+        )
+    except OSError:
+        return None  # persistence is best-effort; the job still runs
+
+
+def _lake_finish(pending, tracer, compiled, telemetry) -> str | None:
+    registry = (
+        telemetry.registry
+        if telemetry is not None and getattr(telemetry, "enabled", False)
+        else None
+    )
+    try:
+        return pending.finish(tracer=tracer, compiled=compiled, registry=registry)
+    except OSError:
+        return None
+
+
 def _execute_trace(payload: dict, telemetry=None) -> dict:
     compiled, _, inputs = _resolve_program("trace", payload)
     params = payload.get("params") or {}
     runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
-    config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
+    pending = _lake_pending(payload, params, inputs)
+    config = OntracConfig(
+        buffer_bytes=int(params.get("buffer", 1 << 22)),
+        spill_path=pending.spill_path if pending is not None else None,
+    )
     machine, tracer, result = runner.run_traced(config)
+    lake_run = (
+        _lake_finish(pending, tracer, compiled, telemetry)
+        if pending is not None else None
+    )
     stats = tracer.stats
-    return {
+    out = {
         "run": _run_summary(result, machine),
         "trace": {
             "instructions": stats.instructions,
@@ -325,6 +374,9 @@ def _execute_trace(payload: dict, telemetry=None) -> dict:
             "ddg": tracer.dependence_graph().stats(),
         },
     }
+    if lake_run is not None:
+        out["lake_run"] = lake_run
+    return out
 
 
 #: swallow-everything emitter: the blocking paths are the streaming
@@ -351,8 +403,16 @@ def _execute_slice(payload: dict, telemetry=None, emit=_no_emit) -> dict:
     compiled, _, inputs = _resolve_program("slice", payload)
     params = payload.get("params") or {}
     runner = ProgramRunner(compiled.program, inputs=inputs, telemetry=telemetry)
-    config = OntracConfig(buffer_bytes=int(params.get("buffer", 1 << 22)))
+    pending = _lake_pending(payload, params, inputs)
+    config = OntracConfig(
+        buffer_bytes=int(params.get("buffer", 1 << 22)),
+        spill_path=pending.spill_path if pending is not None else None,
+    )
     _, tracer, result = runner.run_traced(config)
+    lake_run = (
+        _lake_finish(pending, tracer, compiled, telemetry)
+        if pending is not None else None
+    )
     run_section = {"status": result.status.value, "instructions": result.instructions}
     emit({"set": {"run": run_section}})
     ddg = tracer.dependence_graph()
@@ -392,7 +452,7 @@ def _execute_slice(payload: dict, telemetry=None, emit=_no_emit) -> dict:
     # Repeated criteria over one window are the service's hot query
     # pattern; queries here run per-job, while *cross*-job reuse is the
     # server-side result cache's business.
-    return {
+    out = {
         "run": run_section,
         "slice": {
             "criterion_seq": criterion,
@@ -402,6 +462,9 @@ def _execute_slice(payload: dict, telemetry=None, emit=_no_emit) -> dict:
             "truncated": sl.truncated,
         },
     }
+    if lake_run is not None:
+        out["lake_run"] = lake_run
+    return out
 
 
 def _execute_attack(payload: dict, fidelity: str, telemetry=None, emit=_no_emit) -> dict:

@@ -30,6 +30,7 @@ import os
 import threading
 
 from ..telemetry import MetricsRegistry
+from ..util.artifacts import run_artifact_dir
 from ..telemetry.obs import (
     FlightRecorder,
     MetricsWindow,
@@ -59,7 +60,7 @@ class ServiceObservability:
         self.session = new_trace_id()
         # Crash artifacts land in a dedicated subdirectory (created on
         # first dump) instead of littering the working directory.
-        self.dump_dir = dump_dir or os.path.join(os.getcwd(), "flights")
+        self.dump_dir = run_artifact_dir("flights", dump_dir)
         self.sample_interval_s = sample_interval_s
         self.flight = FlightRecorder(ring_events)
         self.tracer = WallSpanTracer(enabled=True, max_events=max_spans)

@@ -1,6 +1,7 @@
-"""Shared utilities: deterministic RNG, table formatting."""
+"""Shared utilities: deterministic RNG, table formatting, artifact dirs."""
 
+from .artifacts import run_artifact_dir
 from .rng import DeterministicRng
 from .tables import format_table
 
-__all__ = ["DeterministicRng", "format_table"]
+__all__ = ["DeterministicRng", "format_table", "run_artifact_dir"]

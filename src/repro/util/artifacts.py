@@ -1,0 +1,43 @@
+"""Run-artifact directory resolution shared by every subsystem that
+writes gitignored on-disk artifacts (service flight dumps, the trace
+lake).
+
+One policy, three layers of override, strongest first:
+
+1. an explicit path handed to the owning object (``dump_dir=...``,
+   ``TraceLake(root=...)``, ``--lake-root``);
+2. a per-artifact environment variable (``REPRO_FLIGHTS_DIR``,
+   ``REPRO_LAKE_DIR``);
+3. ``<cwd>/<name>`` — the historical default the ``.gitignore``
+   entries (``flights/``, ``lake/``) cover.
+
+The directory is *not* created here: callers create it lazily on first
+write (``os.makedirs(..., exist_ok=True)``) so a disabled feature never
+litters the working directory.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: artifact name -> environment override knob.
+_ENV_KNOBS = {
+    "flights": "REPRO_FLIGHTS_DIR",
+    "lake": "REPRO_LAKE_DIR",
+}
+
+
+def run_artifact_dir(name: str, explicit: str | None = None) -> str:
+    """Resolve the directory for the run-artifact family ``name``.
+
+    ``explicit`` (a caller-supplied path) wins; otherwise the
+    per-artifact environment variable; otherwise ``<cwd>/<name>``.
+    """
+    if explicit:
+        return explicit
+    env = _ENV_KNOBS.get(name)
+    if env:
+        override = os.environ.get(env)
+        if override:
+            return override
+    return os.path.join(os.getcwd(), name)

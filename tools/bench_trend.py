@@ -2,8 +2,9 @@
 
 Each ``BENCH_<name>.json`` in the repo root is one experiment's headline
 numbers for the current checkout (written by ``repro experiment --bench``
-or the CI benchmarks job).  This tool folds them into a per-commit trend
-file so regressions are visible across the PR sequence:
+or the CI benchmarks job; ``BENCH_lake.json`` carries the trace-lake
+stored-query latencies and spill overhead).  This tool folds them into a
+per-commit trend file so regressions are visible across the PR sequence:
 
     {"schema": "repro.bench_trend/v1",
      "entries": [{"commit": "...", "commit_date": "...",
